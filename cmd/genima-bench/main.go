@@ -1,0 +1,114 @@
+// Command genima-bench regenerates every table and figure of the paper's
+// evaluation (Figures 1–4, Tables 1–5) from the simulated system.
+//
+// Usage:
+//
+//	genima-bench                  # everything, bench-scale problems
+//	genima-bench -exp fig2,table3 # a subset
+//	genima-bench -scale test      # tiny problems (seconds)
+//	genima-bench -verify          # validate every run against sequential
+//	genima-bench -nodes 8         # cluster size for the 16-proc suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+import genima "genima"
+
+var (
+	expFlag    = flag.String("exp", "all", "comma-separated experiments: fig1,fig2,fig3,fig4,table1,table2,table3,table4,table5 or all; plus scaling (not in all)")
+	scaleFlag  = flag.String("scale", "bench", "problem scale: test or bench")
+	verifyFlag = flag.Bool("verify", false, "validate every run against the sequential reference")
+	nodesFlag  = flag.Int("nodes", 4, "SMP nodes for the main suite (the paper uses 4)")
+	procsFlag  = flag.Int("procs", 4, "processors per node (the paper uses 4)")
+	quietFlag  = flag.Bool("q", false, "suppress progress output")
+)
+
+func main() {
+	flag.Parse()
+	scale := genima.BenchScale
+	if *scaleFlag == "test" {
+		scale = genima.TestScale
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	progress := func(msg string) {
+		if !*quietFlag {
+			fmt.Fprintf(os.Stderr, "run: %s\n", msg)
+		}
+	}
+
+	needSuite := sel("fig1") || sel("fig2") || sel("fig3") || sel("fig4") ||
+		sel("table1") || sel("table2") || sel("table3") || sel("table4")
+
+	t0 := time.Now()
+	if needSuite {
+		cfg := genima.DefaultConfig()
+		cfg.Nodes = *nodesFlag
+		cfg.ProcsPerNode = *procsFlag
+		s, err := genima.RunSuite(cfg, genima.SuiteOptions{
+			Scale:    scale,
+			Hardware: true,
+			Verify:   *verifyFlag,
+			Progress: progress,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genima-bench:", err)
+			os.Exit(1)
+		}
+		if sel("fig1") {
+			fmt.Println(s.Figure1())
+		}
+		if sel("table1") {
+			fmt.Println(s.Table1())
+		}
+		if sel("fig2") {
+			fmt.Println(s.Figure2())
+		}
+		if sel("fig3") {
+			fmt.Println(s.Figure3())
+		}
+		if sel("fig4") {
+			fmt.Println(s.Figure4())
+		}
+		if sel("table2") {
+			fmt.Println(s.Table2())
+		}
+		if sel("table3") {
+			fmt.Println(s.Table3())
+		}
+		if sel("table4") {
+			fmt.Println(s.Table4())
+		}
+	}
+	if sel("table5") {
+		d, err := genima.Table5(scale, *verifyFlag, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genima-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(d)
+	}
+	if want["scaling"] {
+		d, err := genima.Scaling(scale, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genima-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(d)
+	}
+	if !*quietFlag {
+		fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(t0))
+	}
+}

@@ -1,0 +1,153 @@
+// Command genima-run executes one application under one protocol and
+// prints its speedup, execution-time breakdown, protocol accounting,
+// and the NI firmware monitor's contention ratios.
+//
+// Usage:
+//
+//	genima-run -app fft -proto GeNIMA
+//	genima-run -app barnes-sp -proto DW+RF+DD -nodes 8 -scale bench
+//	genima-run -app radix -proto hw            # hardware-DSM model
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+import (
+	genima "genima"
+	"genima/internal/apps"
+	"genima/internal/nic"
+	"genima/internal/stats"
+)
+
+var (
+	appFlag    = flag.String("app", "fft", "application: "+strings.Join(apps.Names(apps.Bench), ", "))
+	protoFlag  = flag.String("proto", "GeNIMA", "protocol: Base, DW, DW+RF, DW+RF+DD, GeNIMA, or hw")
+	scaleFlag  = flag.String("scale", "bench", "problem scale: test or bench")
+	nodesFlag  = flag.Int("nodes", 4, "SMP nodes")
+	procsFlag  = flag.Int("procs", 4, "processors per node")
+	verifyFlag = flag.Bool("verify", true, "validate against the sequential reference")
+	sgFlag     = flag.Bool("sg", false, "enable the NI scatter-gather extension for direct diffs")
+	bcastFlag  = flag.Bool("broadcast", false, "enable NI broadcast for write notices")
+	traceFlag  = flag.String("trace", "", "write a per-packet trace to this file")
+)
+
+func main() {
+	flag.Parse()
+	scale := apps.Bench
+	if *scaleFlag == "test" {
+		scale = apps.Test
+	}
+	entry, ok := apps.ByName(scale, *appFlag)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "genima-run: unknown app %q (have: %s)\n", *appFlag, strings.Join(apps.Names(scale), ", "))
+		os.Exit(2)
+	}
+	cfg := genima.DefaultConfig()
+	cfg.Nodes = *nodesFlag
+	cfg.ProcsPerNode = *procsFlag
+	cfg.ScatterGather = *sgFlag
+	cfg.NIBroadcast = *bcastFlag
+
+	seq, seqWS, err := genima.RunSequential(cfg, entry.App)
+	if err != nil {
+		fatal(err)
+	}
+
+	var res *genima.Result
+	var ws *genima.Workspace
+	if *protoFlag == "hw" {
+		res, ws, err = genima.RunHardware(cfg, entry.App)
+	} else {
+		proto, perr := parseProto(*protoFlag)
+		if perr != nil {
+			fatal(perr)
+		}
+		var tracer func(genima.TraceEvent)
+		if *traceFlag != "" {
+			f, ferr := os.Create(*traceFlag)
+			if ferr != nil {
+				fatal(ferr)
+			}
+			defer f.Close()
+			w := bufio.NewWriter(f)
+			defer w.Flush()
+			tracer = func(ev genima.TraceEvent) {
+				fmt.Fprintf(w, "t=%dns src=%d dst=%d size=%d kind=%s fw=%v src_ns=%d lanai_ns=%d net_ns=%d dest_ns=%d\n",
+					ev.Time, ev.Src, ev.Dst, ev.Size, ev.Kind, ev.Firmware,
+					ev.StageTime[0], ev.StageTime[1], ev.StageTime[2], ev.StageTime[3])
+			}
+		}
+		res, ws, err = genima.RunTraced(cfg, proto, entry.App, tracer)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *verifyFlag {
+		if err := genima.Validate(entry.App, ws, seqWS); err != nil {
+			fatal(fmt.Errorf("validation FAILED: %w", err))
+		}
+		fmt.Println("validation: output matches the sequential reference")
+	}
+
+	fmt.Printf("%s (%s) on %s, %d nodes x %d procs\n",
+		entry.PaperName, entry.OurSize, res.Label, cfg.Nodes, cfg.ProcsPerNode)
+	fmt.Printf("uniprocessor time: %.3f s (simulated)\n", stats.Seconds(seq.Elapsed))
+	fmt.Printf("parallel time:     %.3f s  -> speedup %.2f on %d processors\n",
+		stats.Seconds(res.Elapsed), genima.Speedup(seq, res), res.Procs)
+
+	fmt.Println("\nAverage execution-time breakdown:")
+	fr := res.Avg.Fractions()
+	for c := 0; c < stats.NumCategories; c++ {
+		fmt.Printf("  %-8s %6.1f%%  (%.3f s)\n", stats.Category(c), 100*fr[c], stats.Seconds(res.Avg.T[c]))
+	}
+
+	a := res.Acct
+	if a.PageFetches > 0 || a.LockOps > 0 {
+		fmt.Println("\nProtocol accounting:")
+		fmt.Printf("  page fetches %d (retries %d), remote lock ops %d, interrupts %d\n",
+			a.PageFetches, a.FetchRetries, a.LockOps, a.Interrupts)
+		fmt.Printf("  diff bytes %d, mprotect calls %d (%.3f s)\n",
+			a.DiffBytes, a.MprotectOps, stats.Seconds(a.Mprotect))
+	}
+	if res.Monitor != nil {
+		u := res.Util
+		fmt.Printf("\nSubstrate utilization (busiest device): LANai %.0f%%, PCI %.0f%%, link %.0f%%, switch %.0f%%; worst NI backlog %.0f us\n",
+			100*u.Firmware, 100*u.PCI, 100*u.Link, 100*u.Switch, float64(u.MaxBacklog)/1000)
+		if res.PostQueueStalls > 0 {
+			fmt.Printf("post-queue stalls: %d (%.3f s lost)\n",
+				res.PostQueueStalls, stats.Seconds(res.PostQueueStallTime))
+		}
+		fmt.Println("\nNI firmware monitor (actual/uncontended per stage):")
+		for _, class := range []nic.Class{nic.Small, nic.Large} {
+			r := res.Monitor.Ratios(class)
+			fmt.Printf("  %-5s msgs (%7d pkts):", class, res.Monitor.Packets(class))
+			for st := 0; st < int(nic.NumStages); st++ {
+				fmt.Printf(" %s=%.1f", nic.Stage(st), r[st])
+			}
+			fmt.Println()
+		}
+		fmt.Println("\nTraffic by message kind:")
+		for _, k := range res.Monitor.TopKinds(8) {
+			fmt.Printf("  %-14s %8d pkts %10d bytes\n", k.Kind, k.Packets, k.Bytes)
+		}
+	}
+}
+
+func parseProto(s string) (genima.Protocol, error) {
+	for _, k := range genima.Protocols() {
+		if strings.EqualFold(k.String(), s) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown protocol %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genima-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Sort: run the paper's Radix-local application under every protocol
+// plus the hardware-DSM yardstick, verifying the sorted output each
+// time — the paper's Figure 1 / Figure 2 story for one application.
+//
+//	go run ./examples/sort
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+import (
+	genima "genima"
+	"genima/internal/apps/radix"
+	"genima/internal/stats"
+)
+
+func main() {
+	cfg := genima.DefaultConfig()
+	a := radix.New(1<<17, 2)
+
+	seq, seqWS, err := genima.RunSequential(cfg, a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("radix sort of %d keys on %d simulated processors\n\n", a.N(), cfg.NumProcs())
+	fmt.Printf("%-12s %8s %8s %9s %9s\n", "system", "speedup", "data%", "barrier%", "fetches")
+
+	for _, k := range genima.Protocols() {
+		res, ws, err := genima.Run(cfg, k, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := a.Verify(ws); err != nil {
+			log.Fatalf("%v: %v", k, err)
+		}
+		if err := genima.Validate(a, ws, seqWS); err != nil {
+			log.Fatalf("%v: %v", k, err)
+		}
+		fr := res.Avg.Fractions()
+		fmt.Printf("%-12s %8.2f %7.1f%% %8.1f%% %9d\n",
+			k, genima.Speedup(seq, res), 100*fr[stats.Data], 100*fr[stats.Barrier], res.Acct.PageFetches)
+	}
+
+	hw, hwWS, err := genima.RunHardware(cfg, a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Verify(hwWS); err != nil {
+		log.Fatal("hwdsm: ", err)
+	}
+	fmt.Printf("%-12s %8.2f   (cache-coherent hardware, 128 B lines)\n", "Origin2000", genima.Speedup(seq, hw))
+}

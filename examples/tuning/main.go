@@ -1,0 +1,127 @@
+// Tuning: the sensitivity studies behind the paper's §3.3 discussion —
+// how the interrupt cost drives the Base protocol's losses, and how NI
+// post-queue depth and send pipelining recover Barnes-spatial under
+// direct diffs (the paper's Windows NT experiment that lifted its
+// speedup to 12.21).
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+import (
+	genima "genima"
+	"genima/internal/apps/barnes"
+	"genima/internal/apps/ocean"
+	"genima/internal/sim"
+)
+
+func main() {
+	interruptSensitivity()
+	fmt.Println()
+	postQueueStudy()
+	fmt.Println()
+	extensionStudy()
+}
+
+// interruptSensitivity sweeps the interrupt dispatch cost: the gap
+// between Base and GeNIMA should shrink as interrupts get cheap.
+func interruptSensitivity() {
+	a := ocean.New(128, 6)
+	fmt.Println("Interrupt-cost sensitivity (Ocean):")
+	fmt.Printf("%-14s %10s %10s %8s\n", "interrupt(us)", "Base", "GeNIMA", "gap")
+	for _, us := range []float64{10, 30, 60, 120} {
+		cfg := genima.DefaultConfig()
+		cfg.Costs.Interrupt = sim.Micro(us)
+		seq, _, err := genima.RunSequential(cfg, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, _, err := genima.Run(cfg, genima.Base, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen, _, err := genima.Run(cfg, genima.GeNIMA, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sb, sg := genima.Speedup(seq, base), genima.Speedup(seq, gen)
+		fmt.Printf("%-14.0f %10.2f %10.2f %7.1f%%\n", us, sb, sg, 100*(sg-sb)/sb)
+	}
+}
+
+// extensionStudy evaluates the future-work NI extensions the paper
+// discusses: scatter-gather direct diffs (§3.3) and NI broadcast for
+// write notices (§5).
+func extensionStudy() {
+	fmt.Println("Future-work NI extensions (GeNIMA):")
+	fmt.Printf("%-34s %10s\n", "configuration", "speedup")
+	bs := barnes.NewSpatial(1024, 4, 2)
+	for _, c := range []struct {
+		name string
+		mut  func(*genima.Config)
+	}{
+		{"barnes-sp, per-run diffs", func(*genima.Config) {}},
+		{"barnes-sp, NI scatter-gather", func(c *genima.Config) { c.ScatterGather = true }},
+	} {
+		cfg := genima.DefaultConfig()
+		c.mut(&cfg)
+		seq, _, err := genima.RunSequential(cfg, bs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, _, err := genima.Run(cfg, genima.GeNIMA, bs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s %10.2f\n", c.name, genima.Speedup(seq, res))
+	}
+	wn := ocean.New(128, 6)
+	for _, c := range []struct {
+		name string
+		mut  func(*genima.Config)
+	}{
+		{"ocean, unicast notices", func(*genima.Config) {}},
+		{"ocean, NI broadcast notices", func(c *genima.Config) { c.NIBroadcast = true }},
+	} {
+		cfg := genima.DefaultConfig()
+		c.mut(&cfg)
+		seq, _, err := genima.RunSequential(cfg, wn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, _, err := genima.Run(cfg, genima.GeNIMA, wn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s %10.2f\n", c.name, genima.Speedup(seq, res))
+	}
+}
+
+// postQueueStudy reproduces the Barnes-spatial direct-diff recovery:
+// deeper post queues and better NI send pipelining absorb the message
+// explosion.
+func postQueueStudy() {
+	a := barnes.NewSpatial(1024, 4, 2)
+	fmt.Println("Barnes-spatial under direct diffs (DW+RF+DD):")
+	fmt.Printf("%-10s %-12s %10s %14s\n", "queue", "pipelining", "speedup", "send stalls")
+	for _, c := range []struct{ depth, pipe int }{
+		{16, 1}, {64, 1}, {256, 1}, {64, 4}, {256, 4},
+	} {
+		cfg := genima.DefaultConfig()
+		cfg.PostQueueDepth = c.depth
+		cfg.SendPipelining = c.pipe
+		seq, _, err := genima.RunSequential(cfg, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, _, err := genima.Run(cfg, genima.DWRFDD, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d %-12d %10.2f %14d\n", c.depth, c.pipe, genima.Speedup(seq, res), res.PostQueueStalls)
+	}
+}

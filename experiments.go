@@ -1,0 +1,532 @@
+package genima
+
+import (
+	"fmt"
+	"strings"
+
+	"genima/internal/app"
+	"genima/internal/apps"
+	"genima/internal/nic"
+	"genima/internal/stats"
+)
+
+// Scale selects suite problem sizes.
+type Scale = apps.Scale
+
+// Suite scales.
+const (
+	// TestScale runs each experiment in milliseconds (CI-sized inputs).
+	TestScale = apps.Test
+	// BenchScale is the default table/figure regeneration size.
+	BenchScale = apps.Bench
+)
+
+// SuiteOptions configures RunSuite.
+type SuiteOptions struct {
+	Scale     Scale
+	Protocols []Protocol // default: all five rungs
+	Hardware  bool       // also run the Origin-2000-like model
+	Verify    bool       // validate every run against the sequential reference
+	Progress  func(string)
+}
+
+// SuiteResults holds every run needed to regenerate Figures 1–4 and
+// Tables 1–4 (Table 5 takes its own 32-processor runs; see Table5).
+type SuiteResults struct {
+	Cfg     Config
+	Entries []apps.Entry
+	Seq     []*Result
+	HW      []*Result
+	SVM     map[Protocol][]*Result
+}
+
+func (o *SuiteOptions) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// RunSuite executes the application suite under every requested
+// protocol (plus the sequential reference and, optionally, hardware).
+func RunSuite(cfg Config, opt SuiteOptions) (*SuiteResults, error) {
+	kinds := opt.Protocols
+	if kinds == nil {
+		kinds = Protocols()
+	}
+	s := &SuiteResults{Cfg: cfg, Entries: apps.Suite(opt.Scale), SVM: map[Protocol][]*Result{}}
+	for _, e := range s.Entries {
+		opt.progress("seq  %-12s", e.App.Name())
+		seqRes, seqWS, err := app.RunSeq(cfg, e.App)
+		if err != nil {
+			return nil, err
+		}
+		s.Seq = append(s.Seq, seqRes)
+
+		if opt.Hardware {
+			opt.progress("hw   %-12s", e.App.Name())
+			hwRes, hwWS, err := app.RunHW(cfg, e.App)
+			if err != nil {
+				return nil, err
+			}
+			if opt.Verify {
+				if err := app.Validate(e.App, hwWS, seqWS); err != nil {
+					return nil, fmt.Errorf("%s on hwdsm: %w", e.App.Name(), err)
+				}
+			}
+			s.HW = append(s.HW, hwRes)
+		}
+
+		for _, k := range kinds {
+			opt.progress("%-4s %-12s", k, e.App.Name())
+			res, ws, err := app.RunSVM(cfg, k, e.App)
+			if err != nil {
+				return nil, err
+			}
+			if opt.Verify {
+				if err := app.Validate(e.App, ws, seqWS); err != nil {
+					return nil, fmt.Errorf("%s on %v: %w", e.App.Name(), k, err)
+				}
+			}
+			s.SVM[k] = append(s.SVM[k], res)
+		}
+	}
+	return s, nil
+}
+
+func (s *SuiteResults) appNames() []string {
+	var out []string
+	for _, e := range s.Entries {
+		out = append(out, e.PaperName)
+	}
+	return out
+}
+
+func (s *SuiteResults) speedups(rs []*Result) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = app.Speedup(s.Seq[i], r)
+	}
+	return out
+}
+
+// --- Figure 1: Origin 2000 vs Base SVM speedups ---
+
+// Figure1Data is the paper's Figure 1: hardware DSM vs Base SVM.
+type Figure1Data struct {
+	Apps   []string
+	Origin []float64
+	Base   []float64
+}
+
+// Figure1 computes Figure 1 (requires Hardware runs).
+func (s *SuiteResults) Figure1() *Figure1Data {
+	return &Figure1Data{Apps: s.appNames(), Origin: s.speedups(s.HW), Base: s.speedups(s.SVM[Base])}
+}
+
+// String renders the figure as a table of speedups.
+func (f *Figure1Data) String() string {
+	t := stats.NewTable("Application", "Origin2000", "Base SVM")
+	for i, a := range f.Apps {
+		t.Row(a, f.Origin[i], f.Base[i])
+	}
+	return "Figure 1: speedups, hardware DSM vs Base SVM (16 procs)\n" + t.String()
+}
+
+// --- Figure 2: the protocol ladder speedups ---
+
+// Figure2Data is the paper's Figure 2: speedups for every rung.
+type Figure2Data struct {
+	Apps       []string
+	Protocols  []Protocol
+	ByProtocol map[Protocol][]float64
+}
+
+// Figure2 computes Figure 2.
+func (s *SuiteResults) Figure2() *Figure2Data {
+	f := &Figure2Data{Apps: s.appNames(), Protocols: Protocols(), ByProtocol: map[Protocol][]float64{}}
+	for _, k := range f.Protocols {
+		if rs, ok := s.SVM[k]; ok {
+			f.ByProtocol[k] = s.speedups(rs)
+		}
+	}
+	return f
+}
+
+// String renders the figure.
+func (f *Figure2Data) String() string {
+	cols := []string{"Application"}
+	for _, k := range f.Protocols {
+		cols = append(cols, k.String())
+	}
+	t := stats.NewTable(cols...)
+	for i, a := range f.Apps {
+		row := []any{a}
+		for _, k := range f.Protocols {
+			row = append(row, f.ByProtocol[k][i])
+		}
+		t.Row(row...)
+	}
+	return "Figure 2: application speedups per protocol (16 procs)\n" + t.String()
+}
+
+// --- Figure 3: normalized execution-time breakdowns ---
+
+// Figure3Data is the paper's Figure 3: per-protocol breakdowns
+// normalized to the Base protocol's total (Base = 1.0).
+type Figure3Data struct {
+	Apps       []string
+	Protocols  []Protocol
+	Categories []string
+	// Normalized[app][protocol][category]
+	Normalized [][][]float64
+}
+
+// Figure3 computes Figure 3.
+func (s *SuiteResults) Figure3() *Figure3Data {
+	f := &Figure3Data{Apps: s.appNames(), Protocols: Protocols()}
+	for c := 0; c < stats.NumCategories; c++ {
+		f.Categories = append(f.Categories, stats.Category(c).String())
+	}
+	for i := range s.Entries {
+		baseTotal := s.SVM[Base][i].Avg.Total()
+		perProto := make([][]float64, 0, len(f.Protocols))
+		for _, k := range f.Protocols {
+			avg := s.SVM[k][i].Avg
+			cats := make([]float64, stats.NumCategories)
+			for c := range cats {
+				if baseTotal > 0 {
+					cats[c] = float64(avg.T[c]) / float64(baseTotal)
+				}
+			}
+			perProto = append(perProto, cats)
+		}
+		f.Normalized = append(f.Normalized, perProto)
+	}
+	return f
+}
+
+// String renders the figure as stacked-component rows.
+func (f *Figure3Data) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3: normalized execution time breakdowns (Base = 1.00)\n")
+	cols := append([]string{"Application", "Protocol"}, f.Categories...)
+	cols = append(cols, "Total")
+	t := stats.NewTable(cols...)
+	for i, a := range f.Apps {
+		for p, k := range f.Protocols {
+			row := []any{a, k.String()}
+			total := 0.0
+			for _, v := range f.Normalized[i][p] {
+				row = append(row, v)
+				total += v
+			}
+			row = append(row, total)
+			t.Row(row...)
+		}
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+// --- Figure 4: Origin vs Base vs GeNIMA ---
+
+// Figure4Data is the paper's Figure 4.
+type Figure4Data struct {
+	Apps   []string
+	Origin []float64
+	Base   []float64
+	GeNIMA []float64
+}
+
+// Figure4 computes Figure 4 (requires Hardware runs).
+func (s *SuiteResults) Figure4() *Figure4Data {
+	return &Figure4Data{
+		Apps:   s.appNames(),
+		Origin: s.speedups(s.HW),
+		Base:   s.speedups(s.SVM[Base]),
+		GeNIMA: s.speedups(s.SVM[GeNIMA]),
+	}
+}
+
+// String renders the figure.
+func (f *Figure4Data) String() string {
+	t := stats.NewTable("Application", "Origin2000", "Base", "GeNIMA")
+	for i, a := range f.Apps {
+		t.Row(a, f.Origin[i], f.Base[i], f.GeNIMA[i])
+	}
+	return "Figure 4: speedups, hardware DSM vs Base vs GeNIMA (16 procs)\n" + t.String()
+}
+
+// --- Table 1: application statistics and improvements ---
+
+// Table1Row is one application's Table 1 statistics.
+type Table1Row struct {
+	App        string
+	PaperSize  string
+	OurSize    string
+	UniprocSec float64
+	// OverallPct is the Base -> GeNIMA improvement in execution time.
+	OverallPct float64
+	// DataPct is the DW -> DW+RF improvement in data wait time; the
+	// parenthesized paper figure is DW -> GeNIMA.
+	DataPct float64
+	// DataFullPct is the DW -> GeNIMA data-wait improvement.
+	DataFullPct float64
+	// LockPct is the DW+RF+DD -> GeNIMA improvement in lock time.
+	LockPct float64
+}
+
+// Table1Data is the paper's Table 1.
+type Table1Data struct{ Rows []Table1Row }
+
+func improvePct(before, after float64) float64 {
+	if before <= 0 {
+		return 0
+	}
+	return 100 * (before - after) / before
+}
+
+// Table1 computes Table 1.
+func (s *SuiteResults) Table1() *Table1Data {
+	d := &Table1Data{}
+	for i, e := range s.Entries {
+		base := s.SVM[Base][i]
+		gen := s.SVM[GeNIMA][i]
+		dw := s.SVM[DW][i]
+		dwrf := s.SVM[DWRF][i]
+		dd := s.SVM[DWRFDD][i]
+		d.Rows = append(d.Rows, Table1Row{
+			App:         e.PaperName,
+			PaperSize:   e.PaperSize,
+			OurSize:     e.OurSize,
+			UniprocSec:  stats.Seconds(s.Seq[i].Elapsed),
+			OverallPct:  improvePct(float64(base.Elapsed), float64(gen.Elapsed)),
+			DataPct:     improvePct(float64(dw.Avg.T[stats.Data]), float64(dwrf.Avg.T[stats.Data])),
+			DataFullPct: improvePct(float64(dw.Avg.T[stats.Data]), float64(gen.Avg.T[stats.Data])),
+			LockPct:     improvePct(float64(dd.Avg.T[stats.Lock]), float64(gen.Avg.T[stats.Lock])),
+		})
+	}
+	return d
+}
+
+// String renders Table 1.
+func (d *Table1Data) String() string {
+	t := stats.NewTable("Application", "Paper size", "Our size", "Uniproc(s)",
+		"Overall(%)", "Data(%) RF", "Data(%) all", "Lock(%) NIL")
+	for _, r := range d.Rows {
+		t.Row(r.App, r.PaperSize, r.OurSize, r.UniprocSec, r.OverallPct, r.DataPct, r.DataFullPct, r.LockPct)
+	}
+	return "Table 1: application statistics and per-mechanism improvements\n" + t.String()
+}
+
+// --- Table 2: barrier time decomposition (GeNIMA) ---
+
+// Table2Row is one application's barrier statistics under GeNIMA.
+type Table2Row struct {
+	App string
+	// BTPct: share of execution time spent in barriers.
+	BTPct float64
+	// BPTPct: share of barrier time that is protocol processing.
+	BPTPct float64
+	// MTPct: share of total SVM overhead spent in mprotect.
+	MTPct float64
+}
+
+// Table2Data is the paper's Table 2.
+type Table2Data struct{ Rows []Table2Row }
+
+// Table2 computes Table 2 from the GeNIMA runs.
+func (s *SuiteResults) Table2() *Table2Data {
+	d := &Table2Data{}
+	for i, e := range s.Entries {
+		r := s.SVM[GeNIMA][i]
+		var sumTotal, sumBarrier, sumOverhead float64
+		for _, b := range r.Breakdowns {
+			sumTotal += float64(b.Total())
+			sumBarrier += float64(b.T[stats.Barrier])
+			sumOverhead += float64(b.Overhead())
+		}
+		row := Table2Row{App: e.PaperName}
+		if sumTotal > 0 {
+			row.BTPct = 100 * sumBarrier / sumTotal
+		}
+		if sumBarrier > 0 {
+			row.BPTPct = 100 * float64(r.BarrierProto) / sumBarrier
+		}
+		if sumOverhead > 0 {
+			row.MTPct = 100 * float64(r.Acct.Mprotect) / sumOverhead
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	return d
+}
+
+// String renders Table 2.
+func (d *Table2Data) String() string {
+	t := stats.NewTable("Application", "BT(%)", "BPT(%)", "MT(%)")
+	for _, r := range d.Rows {
+		t.Row(r.App, r.BTPct, r.BPTPct, r.MTPct)
+	}
+	return "Table 2: barrier time (BT), barrier protocol share (BPT), mprotect share of SVM overhead (MT), GeNIMA\n" + t.String()
+}
+
+// --- Tables 3 and 4: NI monitor contention ratios ---
+
+// ContentionRow is one application's per-stage actual/uncontended
+// ratios under Base and GeNIMA.
+type ContentionRow struct {
+	App    string
+	Base   [nic.NumStages]float64
+	GeNIMA [nic.NumStages]float64
+}
+
+// ContentionData is Table 3 (small messages) or Table 4 (large).
+type ContentionData struct {
+	Class nic.Class
+	Rows  []ContentionRow
+}
+
+func (s *SuiteResults) contention(class nic.Class) *ContentionData {
+	d := &ContentionData{Class: class}
+	for i, e := range s.Entries {
+		d.Rows = append(d.Rows, ContentionRow{
+			App:    e.PaperName,
+			Base:   s.SVM[Base][i].Monitor.Ratios(class),
+			GeNIMA: s.SVM[GeNIMA][i].Monitor.Ratios(class),
+		})
+	}
+	return d
+}
+
+// Table3 computes the small-message contention ratios.
+func (s *SuiteResults) Table3() *ContentionData { return s.contention(nic.Small) }
+
+// Table4 computes the large-message contention ratios.
+func (s *SuiteResults) Table4() *ContentionData { return s.contention(nic.Large) }
+
+// String renders the contention table in the paper's Base/GeNIMA form.
+func (d *ContentionData) String() string {
+	t := stats.NewTable("Application", "SourceLat", "LANaiLat", "NetLat", "DestLat")
+	for _, r := range d.Rows {
+		cells := []any{r.App}
+		for st := 0; st < int(nic.NumStages); st++ {
+			cells = append(cells, fmt.Sprintf("%.1f/%.1f", r.Base[st], r.GeNIMA[st]))
+		}
+		t.Row(cells...)
+	}
+	n := "Table 3"
+	if d.Class == nic.Large {
+		n = "Table 4"
+	}
+	return fmt.Sprintf("%s: %s-message contention ratios, actual/uncontended (Base/GeNIMA)\n%s",
+		n, d.Class, t.String())
+}
+
+// --- Table 5: 32-processor speedups ---
+
+// Table5Data is the paper's Table 5: GeNIMA vs Origin at 32 processors.
+type Table5Data struct {
+	Apps   []string
+	SVM    []float64
+	Origin []float64
+}
+
+// Table5 runs the suite on an 8-node (32-processor) cluster under
+// GeNIMA and the hardware model. It is independent of RunSuite.
+func Table5(scale Scale, verify bool, progress func(string)) (*Table5Data, error) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 8
+	opt := SuiteOptions{
+		Scale:     scale,
+		Protocols: []Protocol{GeNIMA},
+		Hardware:  true,
+		Verify:    verify,
+		Progress:  progress,
+	}
+	s, err := RunSuite(cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Table5Data{
+		Apps:   s.appNames(),
+		SVM:    s.speedups(s.SVM[GeNIMA]),
+		Origin: s.speedups(s.HW),
+	}, nil
+}
+
+// String renders Table 5.
+func (d *Table5Data) String() string {
+	t := stats.NewTable("Application", "SVM (GeNIMA)", "SGI Origin2000")
+	for i, a := range d.Apps {
+		t.Row(a, d.SVM[i], d.Origin[i])
+	}
+	return "Table 5: speedups on 32 processors\n" + t.String()
+}
+
+// --- Scaling study (the paper's §5: "how the performance and
+// bottlenecks scale with system size") ---
+
+// ScalingData holds per-cluster-size speedups for the whole suite under
+// Base and GeNIMA.
+type ScalingData struct {
+	Apps   []string
+	Nodes  []int
+	Procs  []int
+	Base   [][]float64 // [app][size]
+	GeNIMA [][]float64
+}
+
+// Scaling runs the suite at 1, 2, 4 and 8 nodes (4-way SMPs) under
+// Base and GeNIMA.
+func Scaling(scale Scale, progress func(string)) (*ScalingData, error) {
+	d := &ScalingData{Nodes: []int{1, 2, 4, 8}}
+	for _, nodes := range d.Nodes {
+		d.Procs = append(d.Procs, nodes*4)
+	}
+	entries := apps.Suite(scale)
+	for _, e := range entries {
+		d.Apps = append(d.Apps, e.PaperName)
+	}
+	d.Base = make([][]float64, len(entries))
+	d.GeNIMA = make([][]float64, len(entries))
+	for i := range entries {
+		d.Base[i] = make([]float64, len(d.Nodes))
+		d.GeNIMA[i] = make([]float64, len(d.Nodes))
+	}
+	for si, nodes := range d.Nodes {
+		cfg := DefaultConfig()
+		cfg.Nodes = nodes
+		opt := SuiteOptions{Scale: scale, Protocols: []Protocol{Base, GeNIMA}, Progress: progress}
+		s, err := RunSuite(cfg, opt)
+		if err != nil {
+			return nil, err
+		}
+		for i := range entries {
+			d.Base[i][si] = app.Speedup(s.Seq[i], s.SVM[Base][i])
+			d.GeNIMA[i][si] = app.Speedup(s.Seq[i], s.SVM[GeNIMA][i])
+		}
+	}
+	return d, nil
+}
+
+// String renders the scaling study.
+func (d *ScalingData) String() string {
+	cols := []string{"Application", "Protocol"}
+	for _, p := range d.Procs {
+		cols = append(cols, fmt.Sprintf("%dp", p))
+	}
+	t := stats.NewTable(cols...)
+	for i, a := range d.Apps {
+		row := []any{a, "Base"}
+		for si := range d.Nodes {
+			row = append(row, d.Base[i][si])
+		}
+		t.Row(row...)
+		row = []any{a, "GeNIMA"}
+		for si := range d.Nodes {
+			row = append(row, d.GeNIMA[i][si])
+		}
+		t.Row(row...)
+	}
+	return "Scaling study: suite speedups vs cluster size (4-way SMP nodes)\n" + t.String()
+}

@@ -1,0 +1,93 @@
+// Package genima is a reproduction of "Using Network Interface Support
+// to Avoid Asynchronous Protocol Processing in Shared Virtual Memory
+// Systems" (Bilas, Liao, Singh; ISCA 1999) as a deterministic
+// discrete-event simulation: a cluster of SMP nodes on a Myrinet-like
+// fabric running home-based lazy release consistency, with the paper's
+// NI mechanisms — remote deposit, remote fetch, and NI locks — layered
+// on cumulatively, plus a hardware-DSM (Origin 2000-like) yardstick.
+//
+// The package is the public face of the library: pick a cluster
+// configuration and a protocol, run one of the ten SPLASH-2-style
+// applications (or your own app.App), and read back speedups,
+// execution-time breakdowns, protocol accounting, and the NI firmware
+// monitor's contention ratios.
+//
+//	cfg := genima.DefaultConfig()
+//	res, _, err := genima.Run(cfg, genima.GeNIMA, fft.New(14))
+package genima
+
+import (
+	"genima/internal/app"
+	"genima/internal/core"
+	"genima/internal/nic"
+	"genima/internal/topo"
+)
+
+// Protocol selects an SVM protocol configuration (the paper's ladder).
+type Protocol = core.Kind
+
+// The protocol rungs, cumulative left to right.
+const (
+	// Base is HLRC-SMP with interrupt-driven asynchronous handling.
+	Base = core.Base
+	// DW adds remote deposit for protocol data (eager write notices).
+	DW = core.DW
+	// DWRF adds NI remote fetch for pages and timestamps.
+	DWRF = core.DWRF
+	// DWRFDD adds direct diffs deposited into home copies.
+	DWRFDD = core.DWRFDD
+	// GeNIMA adds NI locks: no interrupts or polling remain.
+	GeNIMA = core.GeNIMA
+)
+
+// Protocols lists all rungs in evaluation order.
+func Protocols() []Protocol { return core.Kinds() }
+
+// Config describes the simulated cluster; see topo.Config for every
+// cost constant.
+type Config = topo.Config
+
+// DefaultConfig returns the paper-calibrated 4-node, 4-way-SMP cluster.
+func DefaultConfig() Config { return topo.Default() }
+
+// App is a workload; the ten paper applications live in
+// internal/apps/..., and external code can implement its own.
+type App = app.App
+
+// Result is one run's outcome (speedups, breakdowns, accounting).
+type Result = app.Result
+
+// Workspace holds the shared address space after a run.
+type Workspace = app.Workspace
+
+// Run executes a workload under an SVM protocol.
+func Run(cfg Config, p Protocol, a App) (*Result, *Workspace, error) {
+	return app.RunSVM(cfg, p, a)
+}
+
+// TraceEvent is one delivered network packet (see RunTraced).
+type TraceEvent = nic.TraceEvent
+
+// RunTraced is Run with a packet tracer: fn receives every delivered
+// packet from the NI firmware monitor, in delivery order.
+func RunTraced(cfg Config, p Protocol, a App, fn func(TraceEvent)) (*Result, *Workspace, error) {
+	return app.RunSVMTraced(cfg, p, a, fn)
+}
+
+// RunHardware executes a workload on the hardware-DSM model.
+func RunHardware(cfg Config, a App) (*Result, *Workspace, error) {
+	return app.RunHW(cfg, a)
+}
+
+// RunSequential executes a workload on one zero-overhead processor:
+// the reference output and the uniprocessor time for speedups.
+func RunSequential(cfg Config, a App) (*Result, *Workspace, error) {
+	return app.RunSeq(cfg, a)
+}
+
+// Speedup is seq.Elapsed / par.Elapsed.
+func Speedup(seq, par *Result) float64 { return app.Speedup(seq, par) }
+
+// Validate compares a parallel run's shared-memory output against the
+// sequential reference (exact bytes, or the app's tolerance rule).
+func Validate(a App, par, seq *Workspace) error { return app.Validate(a, par, seq) }

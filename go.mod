@@ -1,0 +1,3 @@
+module genima
+
+go 1.22

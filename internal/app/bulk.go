@@ -1,0 +1,104 @@
+package app
+
+import (
+	"genima/internal/memory"
+	"genima/internal/stats"
+)
+
+// Bulk transfers between shared regions and private buffers. Real SVM
+// programs work on cached local data between synchronization points;
+// these helpers fault the covered pages once and then move bytes, so an
+// inner loop (an FFT butterfly pass, a stencil sweep) runs on private
+// memory exactly as it would on the real system.
+
+// CopyOutF64 reads len(dst) float64 elements starting at element
+// elemOff of region r into dst.
+func (c *Ctx) CopyOutF64(r memory.Region, elemOff int, dst []float64) {
+	if len(dst) == 0 {
+		return
+	}
+	addr := r.Base + 8*elemOff
+	t0 := c.p.Now()
+	c.be.EnsureRead(c.p, addr, 8*len(dst))
+	if dt := c.p.Now() - t0; dt > 0 {
+		c.Breakdown.Add(stats.Data, dt)
+	}
+	c.forEachSpan(addr, 8*len(dst), func(pg []byte, off, n, done int) {
+		for i := 0; i < n; i += 8 {
+			dst[(done+i)/8] = getF64(pg, off+i)
+		}
+	})
+}
+
+// CopyInF64 writes src into region r starting at element elemOff.
+func (c *Ctx) CopyInF64(r memory.Region, elemOff int, src []float64) {
+	if len(src) == 0 {
+		return
+	}
+	addr := r.Base + 8*elemOff
+	t0 := c.p.Now()
+	c.be.EnsureWrite(c.p, addr, 8*len(src))
+	if dt := c.p.Now() - t0; dt > 0 {
+		c.Breakdown.Add(stats.Data, dt)
+	}
+	c.forEachSpan(addr, 8*len(src), func(pg []byte, off, n, done int) {
+		for i := 0; i < n; i += 8 {
+			putF64(pg, off+i, src[(done+i)/8])
+		}
+	})
+}
+
+// CopyOutI32 reads len(dst) int32 elements starting at element elemOff.
+func (c *Ctx) CopyOutI32(r memory.Region, elemOff int, dst []int32) {
+	if len(dst) == 0 {
+		return
+	}
+	addr := r.Base + 4*elemOff
+	t0 := c.p.Now()
+	c.be.EnsureRead(c.p, addr, 4*len(dst))
+	if dt := c.p.Now() - t0; dt > 0 {
+		c.Breakdown.Add(stats.Data, dt)
+	}
+	c.forEachSpan(addr, 4*len(dst), func(pg []byte, off, n, done int) {
+		for i := 0; i < n; i += 4 {
+			dst[(done+i)/4] = getI32(pg, off+i)
+		}
+	})
+}
+
+// CopyInI32 writes src into region r starting at element elemOff.
+func (c *Ctx) CopyInI32(r memory.Region, elemOff int, src []int32) {
+	if len(src) == 0 {
+		return
+	}
+	addr := r.Base + 4*elemOff
+	t0 := c.p.Now()
+	c.be.EnsureWrite(c.p, addr, 4*len(src))
+	if dt := c.p.Now() - t0; dt > 0 {
+		c.Breakdown.Add(stats.Data, dt)
+	}
+	c.forEachSpan(addr, 4*len(src), func(pg []byte, off, n, done int) {
+		for i := 0; i < n; i += 4 {
+			putI32(pg, off+i, src[(done+i)/4])
+		}
+	})
+}
+
+// forEachSpan walks [addr, addr+size) page by page: fn receives the page
+// bytes, the in-page offset, the span length, and how many bytes were
+// processed before this span.
+func (c *Ctx) forEachSpan(addr, size int, fn func(pg []byte, off, n, done int)) {
+	ps := c.cfg.PageSize
+	done := 0
+	for done < size {
+		a := addr + done
+		page := a / ps
+		off := a % ps
+		n := ps - off
+		if n > size-done {
+			n = size - done
+		}
+		fn(c.be.Bytes(page), off, n, done)
+		done += n
+	}
+}

@@ -1,0 +1,200 @@
+package app
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"genima/internal/core"
+	"genima/internal/memory"
+	"genima/internal/sim"
+	"genima/internal/stats"
+	"genima/internal/topo"
+)
+
+// bulkApp round-trips data through the bulk helpers across pages.
+type bulkApp struct {
+	n    int
+	seed int64
+	fail string
+}
+
+func (a *bulkApp) Name() string { return "bulk" }
+func (a *bulkApp) Ops() float64 { return 1 }
+
+func (a *bulkApp) Setup(ws *Workspace) {
+	ws.Alloc("f", 8*a.n, memory.RoundRobin)
+	ws.Alloc("i", 4*a.n, memory.RoundRobin)
+}
+
+func (a *bulkApp) Run(ctx *Ctx) {
+	if ctx.ID() != 0 {
+		ctx.Barrier()
+		return
+	}
+	ws := ctx.Workspace()
+	rng := rand.New(rand.NewSource(a.seed))
+	f := make([]float64, a.n)
+	for i := range f {
+		f[i] = rng.NormFloat64()
+	}
+	// Write at an unaligned element offset spanning pages, read back.
+	off := rng.Intn(100)
+	ctx.CopyInF64(ws.Region("f"), off, f[:a.n-off])
+	back := make([]float64, a.n-off)
+	ctx.CopyOutF64(ws.Region("f"), off, back)
+	for i := range back {
+		if back[i] != f[i] {
+			a.fail = "float64 round trip"
+			break
+		}
+	}
+	iv := make([]int32, a.n)
+	for i := range iv {
+		iv[i] = rng.Int31()
+	}
+	ctx.CopyInI32(ws.Region("i"), 0, iv)
+	ib := make([]int32, a.n)
+	ctx.CopyOutI32(ws.Region("i"), 0, ib)
+	for i := range ib {
+		if ib[i] != iv[i] {
+			a.fail = "int32 round trip"
+			break
+		}
+	}
+	ctx.Barrier()
+}
+
+func TestBulkRoundTripAcrossPages(t *testing.T) {
+	prop := func(seed int64) bool {
+		a := &bulkApp{n: 2000, seed: seed} // 16 KB: spans 4 pages
+		cfg := testConfig()
+		if _, _, err := RunSVM(cfg, core.GeNIMA, a); err != nil {
+			t.Fatal(err)
+		}
+		return a.fail == ""
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// attributionApp checks that each Ctx operation charges the right
+// breakdown category.
+type attributionApp struct{}
+
+func (a *attributionApp) Name() string { return "attr" }
+func (a *attributionApp) Ops() float64 { return 1 }
+
+func (a *attributionApp) Setup(ws *Workspace) {
+	ws.Alloc("x", 4096*4, memory.RoundRobin)
+}
+
+func (a *attributionApp) Run(ctx *Ctx) {
+	x := ctx.Workspace().Region("x")
+	ctx.Compute(1000)
+	ctx.SetF64(x, 512*ctx.ID()%1024, 1) // remote fault for most procs
+	ctx.Lock(1)
+	ctx.Unlock(1)
+	ctx.Acquire(2)
+	ctx.Release(2)
+	ctx.Barrier()
+}
+
+func TestBreakdownAttribution(t *testing.T) {
+	cfg := testConfig()
+	res, _, err := RunSVM(cfg, core.Base, &attributionApp{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum stats.Breakdown
+	for _, b := range res.Breakdowns {
+		sum.Merge(b)
+	}
+	for _, c := range []stats.Category{stats.Compute, stats.Data, stats.Lock, stats.AcqRel, stats.Barrier} {
+		if sum.T[c] == 0 {
+			t.Errorf("category %v never charged", c)
+		}
+	}
+}
+
+func TestForEachSpanCoversExactly(t *testing.T) {
+	cfg := topo.Default()
+	ws := NewWorkspace(&cfg)
+	ws.Alloc("r", 4*cfg.PageSize, memory.RoundRobin)
+	ctx := NewCtx(0, 1, nil, NewNullBackend(ws), ws, &cfg, 0)
+	prop := func(a, s uint16) bool {
+		addr := int(a) % (3 * cfg.PageSize)
+		size := int(s)%cfg.PageSize + 1
+		covered := 0
+		prevEnd := addr
+		ok := true
+		ctx.forEachSpan(addr, size, func(pg []byte, off, n, done int) {
+			if done != covered {
+				ok = false
+			}
+			if addr+done != prevEnd {
+				ok = false
+			}
+			if off+n > len(pg) {
+				ok = false
+			}
+			covered += n
+			prevEnd = addr + done + n
+		})
+		return ok && covered == size
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSuiteDeterminism(t *testing.T) {
+	a := &sumApp{n: 4096}
+	run := func() sim.Time {
+		res, _, err := RunSVM(testConfig(), core.GeNIMA, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if again := run(); again != first {
+			t.Fatalf("elapsed differs across identical runs: %d vs %d", first, again)
+		}
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := testConfig()
+	cfg.Nodes = 0
+	if _, _, err := RunSVM(cfg, core.Base, &sumApp{n: 256}); err == nil {
+		t.Error("invalid config accepted by RunSVM")
+	}
+	if _, _, err := RunHW(cfg, &sumApp{n: 256}); err == nil {
+		t.Error("invalid config accepted by RunHW")
+	}
+	if _, _, err := RunSeq(cfg, &sumApp{n: 256}); err == nil {
+		t.Error("invalid config accepted by RunSeq")
+	}
+}
+
+func TestUtilizationBounded(t *testing.T) {
+	a := &sumApp{n: 16384}
+	res, _, err := RunSVM(testConfig(), core.Base, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := res.Util
+	for name, v := range map[string]float64{
+		"firmware": u.Firmware, "pci": u.PCI, "link": u.Link, "switch": u.Switch,
+	} {
+		if v < 0 || v > 1 {
+			t.Errorf("%s utilization = %v, want [0,1]", name, v)
+		}
+	}
+	if u.Firmware == 0 || u.PCI == 0 {
+		t.Error("no substrate activity recorded")
+	}
+}

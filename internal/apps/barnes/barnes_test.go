@@ -1,0 +1,124 @@
+package barnes
+
+import (
+	"math"
+	"testing"
+
+	"genima/internal/app"
+	"genima/internal/core"
+	"genima/internal/topo"
+)
+
+func cfg() topo.Config {
+	c := topo.Default()
+	c.Nodes = 4
+	c.ProcsPerNode = 2
+	return c
+}
+
+func TestTreeMassConservation(t *testing.T) {
+	// After the upward pass, the root cell's mass equals total body mass.
+	a := NewOriginal(64, 3, 1)
+	_, ws, err := app.RunSeq(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := ws.F64(ws.Region("cmass"), 0)
+	var want float64
+	mass := ws.Region("mass")
+	for i := 0; i < a.n; i++ {
+		want += ws.F64(mass, i)
+	}
+	if math.Abs(root-want) > 1e-9*want {
+		t.Errorf("root mass = %g, want %g", root, want)
+	}
+}
+
+func TestMortonOrdering(t *testing.T) {
+	if morton(0, 0, 3) != 0 || morton(1, 0, 3) != 1 || morton(0, 1, 3) != 2 || morton(1, 1, 3) != 3 {
+		t.Error("morton interleave broken for first quad")
+	}
+	if morton(2, 0, 3) != 4 {
+		t.Errorf("morton(2,0) = %d, want 4", morton(2, 0, 3))
+	}
+}
+
+func TestOriginalParallelMatchesSequential(t *testing.T) {
+	a := NewOriginal(96, 3, 2)
+	_, seqWS, err := app.RunSeq(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range core.Kinds() {
+		_, parWS, err := app.RunSVM(cfg(), k, a)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if err := app.Validate(a, parWS, seqWS); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+	}
+	_, hwWS, err := app.RunHW(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Validate(a, hwWS, seqWS); err != nil {
+		t.Errorf("hwdsm: %v", err)
+	}
+}
+
+func TestSpatialParallelMatchesSequential(t *testing.T) {
+	a := NewSpatial(96, 3, 2)
+	_, seqWS, err := app.RunSeq(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range core.Kinds() {
+		_, parWS, err := app.RunSVM(cfg(), k, a)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if err := app.Validate(a, parWS, seqWS); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+	}
+}
+
+func TestOriginalLocksSpatialDoesNot(t *testing.T) {
+	orig := NewOriginal(96, 3, 1)
+	sp := NewSpatial(96, 3, 1)
+	ro, _, err := app.RunSVM(cfg(), core.Base, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, _, err := app.RunSVM(cfg(), core.Base, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Acct.LockOps == 0 {
+		t.Error("original variant took no remote locks")
+	}
+	if rs.Acct.LockOps >= ro.Acct.LockOps/2 {
+		t.Errorf("spatial lock ops (%d) not well below original (%d)", rs.Acct.LockOps, ro.Acct.LockOps)
+	}
+}
+
+// The paper's §3.3 DD effect: direct diffs massively increase message
+// counts for Barnes-spatial because the AoS layout scatters modified
+// words within each page.
+func TestSpatialDirectDiffMessageExplosion(t *testing.T) {
+	a := NewSpatial(256, 3, 1)
+	noDD, _, err := app.RunSVM(cfg(), core.DWRF, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDD, _, err := app.RunSVM(cfg(), core.DWRFDD, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := noDD.Monitor.TotalPackets()
+	wd := withDD.Monitor.TotalPackets()
+	if wd < nd*2 {
+		t.Errorf("DD packets (%d) not much above non-DD (%d) for barnes-spatial", wd, nd)
+	}
+}

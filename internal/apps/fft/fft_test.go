@@ -1,0 +1,103 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"genima/internal/app"
+	"genima/internal/core"
+	"genima/internal/topo"
+)
+
+func cfg() topo.Config {
+	c := topo.Default()
+	c.Nodes = 4
+	c.ProcsPerNode = 2
+	return c
+}
+
+// The six-step pipeline must compute the actual DFT: check the
+// sequential run against a naive O(n²) DFT.
+func TestMatchesNaiveDFT(t *testing.T) {
+	a := New(8) // 256 points
+	_, ws, err := app.RunSeq(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the input the Setup generated.
+	in := make([]complex128, a.n)
+	seed := uint64(0x9E3779B97F4A7C15)
+	for i := range in {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		re := float64(int32(seed>>33)) / float64(1<<31)
+		seed = seed*6364136223846793005 + 1442695040888963407
+		im := float64(int32(seed>>33)) / float64(1<<31)
+		in[i] = complex(re, im)
+	}
+	trans := ws.Region("trans")
+	for k := 0; k < a.n; k++ {
+		var want complex128
+		for j := 0; j < a.n; j++ {
+			ang := -2 * math.Pi * float64(j) * float64(k) / float64(a.n)
+			want += in[j] * cmplx.Exp(complex(0, ang))
+		}
+		got := complex(ws.F64(trans, 2*k), ws.F64(trans, 2*k+1))
+		if cmplx.Abs(got-want) > 1e-6*(1+cmplx.Abs(want)) {
+			t.Fatalf("X[%d] = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestFFTInPlaceRoundTrip(t *testing.T) {
+	// FFT of a delta is all-ones.
+	row := make([]float64, 2*16)
+	row[0] = 1
+	fftInPlace(row)
+	for c := 0; c < 16; c++ {
+		if math.Abs(row[2*c]-1) > 1e-12 || math.Abs(row[2*c+1]) > 1e-12 {
+			t.Fatalf("delta FFT element %d = (%g,%g)", c, row[2*c], row[2*c+1])
+		}
+	}
+}
+
+func TestParallelMatchesSequentialAllProtocols(t *testing.T) {
+	a := New(10) // 1024 points: 32x32
+	_, seqWS, err := app.RunSeq(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range core.Kinds() {
+		_, parWS, err := app.RunSVM(cfg(), k, a)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if err := app.Validate(a, parWS, seqWS); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+	}
+}
+
+func TestParallelMatchesSequentialHW(t *testing.T) {
+	a := New(10)
+	_, seqWS, err := app.RunSeq(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, parWS, err := app.RunHW(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Validate(a, parWS, seqWS); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("odd m did not panic")
+		}
+	}()
+	New(9)
+}

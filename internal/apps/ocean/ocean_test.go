@@ -1,0 +1,91 @@
+package ocean
+
+import (
+	"math"
+	"testing"
+
+	"genima/internal/app"
+	"genima/internal/core"
+	"genima/internal/topo"
+)
+
+func cfg() topo.Config {
+	c := topo.Default()
+	c.Nodes = 4
+	c.ProcsPerNode = 2
+	return c
+}
+
+// Relaxation must reduce the residual of the interior points.
+func TestResidualDecreases(t *testing.T) {
+	residual := func(ws *app.Workspace, a *App) float64 {
+		grid := ws.Region("grid")
+		side := a.side()
+		var r float64
+		for i := 1; i <= a.n; i++ {
+			for j := 1; j <= a.n; j++ {
+				v := ws.F64(grid, i*side+j)
+				avg := 0.25 * (ws.F64(grid, (i-1)*side+j) + ws.F64(grid, (i+1)*side+j) +
+					ws.F64(grid, i*side+j-1) + ws.F64(grid, i*side+j+1))
+				r += math.Abs(v - avg)
+			}
+		}
+		return r
+	}
+	short := New(32, 1)
+	long := New(32, 20)
+	_, wsShort, err := app.RunSeq(cfg(), short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wsLong, err := app.RunSeq(cfg(), long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, rl := residual(wsShort, short), residual(wsLong, long)
+	if rl >= rs/2 {
+		t.Errorf("residual after 20 iters (%g) not much below after 1 iter (%g)", rl, rs)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	a := New(64, 4)
+	_, seqWS, err := app.RunSeq(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []core.Kind{core.Base, core.DWRF, core.GeNIMA} {
+		_, parWS, err := app.RunSVM(cfg(), k, a)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if err := app.Validate(a, parWS, seqWS); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+	}
+	_, hwWS, err := app.RunHW(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Validate(a, hwWS, seqWS); err != nil {
+		t.Errorf("hwdsm: %v", err)
+	}
+}
+
+func TestBoundaryValuesUntouched(t *testing.T) {
+	a := New(16, 3)
+	_, ws, err := app.RunSeq(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := ws.Region("grid")
+	side := a.side()
+	for j := 0; j < side; j++ {
+		if ws.F64(grid, j) != 100 {
+			t.Fatalf("top boundary modified at %d", j)
+		}
+		if ws.F64(grid, (side-1)*side+j) != -40 {
+			t.Fatalf("bottom boundary modified at %d", j)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package radix
+
+import (
+	"sort"
+	"testing"
+
+	"genima/internal/app"
+	"genima/internal/core"
+	"genima/internal/topo"
+)
+
+func cfg() topo.Config {
+	c := topo.Default()
+	c.Nodes = 4
+	c.ProcsPerNode = 2
+	return c
+}
+
+func TestSequentialSortsCorrectly(t *testing.T) {
+	a := New(2048, 2)
+	// Capture the input distribution.
+	c := cfg()
+	in := app.NewWorkspace(&c)
+	a.Setup(in)
+	want := make([]int, a.n)
+	for i := 0; i < a.n; i++ {
+		want[i] = int(in.I32(in.Region("keys0"), i))
+	}
+	sort.Ints(want)
+
+	_, ws, err := app.RunSeq(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Verify(ws); err != nil {
+		t.Fatal(err)
+	}
+	out := ws.Region("keys0") // 2 passes: result back in keys0
+	for i := 0; i < a.n; i++ {
+		if got := int(ws.I32(out, i)); got != want[i] {
+			t.Fatalf("output[%d] = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	a := New(2048, 2)
+	_, seqWS, err := app.RunSeq(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range core.Kinds() {
+		_, parWS, err := app.RunSVM(cfg(), k, a)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if err := a.Verify(parWS); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+		if err := app.Validate(a, parWS, seqWS); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+	}
+	_, hwWS, err := app.RunHW(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Validate(a, hwWS, seqWS); err != nil {
+		t.Errorf("hwdsm: %v", err)
+	}
+}
+
+func TestScatteredWritesCauseTraffic(t *testing.T) {
+	// The permutation phase's scattered writes must cause substantially
+	// more page fetches than keys/pages would suggest for a streaming
+	// access pattern.
+	a := New(4096, 2)
+	res, _, err := app.RunSVM(cfg(), core.Base, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := 4 * a.n / cfg().PageSize * 2 // both key buffers
+	if res.Acct.PageFetches < uint64(pages) {
+		t.Errorf("page fetches = %d, expected at least %d", res.Acct.PageFetches, pages)
+	}
+}

@@ -1,0 +1,73 @@
+package raytrace
+
+import (
+	"testing"
+
+	"genima/internal/app"
+	"genima/internal/core"
+	"genima/internal/topo"
+)
+
+func cfg() topo.Config {
+	c := topo.Default()
+	c.Nodes = 4
+	c.ProcsPerNode = 2
+	return c
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	a := New(32, 8, 12)
+	_, seqWS, err := app.RunSeq(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range core.Kinds() {
+		_, parWS, err := app.RunSVM(cfg(), k, a)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if err := app.Validate(a, parWS, seqWS); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+	}
+	_, hwWS, err := app.RunHW(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Validate(a, hwWS, seqWS); err != nil {
+		t.Errorf("hwdsm: %v", err)
+	}
+}
+
+func TestSpheresVisible(t *testing.T) {
+	a := New(32, 8, 12)
+	_, ws, err := app.RunSeq(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := ws.Region("image")
+	// Sky pixels are (0.1, 0.1, ~0.2); sphere hits differ. Count
+	// pixels that are not sky.
+	hits := 0
+	for p := 0; p < 32*32; p++ {
+		if ws.F64(img, 3*p) != 0.1 {
+			hits++
+		}
+	}
+	if hits < 20 {
+		t.Errorf("only %d sphere pixels; scene looks empty", hits)
+	}
+}
+
+func TestEveryTileRenderedOnce(t *testing.T) {
+	// The shared tile counter must hand out each tile exactly once:
+	// after a parallel run the counter equals the tile count.
+	a := New(32, 8, 12)
+	_, ws, err := app.RunSVM(cfg(), core.GeNIMA, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ws.I64(ws.Region("tilectr"), 0); got != 16 {
+		t.Errorf("tile counter = %d, want 16", got)
+	}
+}

@@ -1,0 +1,72 @@
+package volrend
+
+import (
+	"testing"
+
+	"genima/internal/app"
+	"genima/internal/core"
+	"genima/internal/topo"
+)
+
+func cfg() topo.Config {
+	c := topo.Default()
+	c.Nodes = 4
+	c.ProcsPerNode = 2
+	return c
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	a := New(16, 32, 8)
+	_, seqWS, err := app.RunSeq(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range core.Kinds() {
+		_, parWS, err := app.RunSVM(cfg(), k, a)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if err := app.Validate(a, parWS, seqWS); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+	}
+	_, hwWS, err := app.RunHW(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Validate(a, hwWS, seqWS); err != nil {
+		t.Errorf("hwdsm: %v", err)
+	}
+}
+
+func TestImageNonTrivial(t *testing.T) {
+	a := New(16, 32, 8)
+	_, ws, err := app.RunSeq(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := ws.Region("image")
+	nonzero := 0
+	for i := 0; i < 32*32; i++ {
+		if ws.F64(img, i) > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 32*32/4 {
+		t.Errorf("only %d of %d pixels lit; volume render looks broken", nonzero, 32*32)
+	}
+}
+
+func TestStealingHappens(t *testing.T) {
+	// With an imbalanced volume, some processor must exhaust its own
+	// queue and steal: total lock ops must exceed the minimum (one
+	// init + one pop per tile).
+	a := New(16, 32, 8)
+	res, _, err := app.RunSVM(cfg(), core.GeNIMA, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Acct.LockOps == 0 {
+		t.Error("no remote lock ops — task queues never contended")
+	}
+}

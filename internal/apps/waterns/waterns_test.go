@@ -1,0 +1,83 @@
+package waterns
+
+import (
+	"testing"
+
+	"genima/internal/app"
+	"genima/internal/core"
+	"genima/internal/topo"
+)
+
+func cfg() topo.Config {
+	c := topo.Default()
+	c.Nodes = 4
+	c.ProcsPerNode = 2
+	return c
+}
+
+func TestMomentumConservation(t *testing.T) {
+	// Newton's third law: the merged force array sums to ~zero before
+	// the integration clears it. Check on a 1-step sequential run by
+	// summing position deltas weighted 1/dt.
+	a := New(32, 1)
+	orig := func() *app.Workspace {
+		c := cfg()
+		ws := app.NewWorkspace(&c)
+		a.Setup(ws)
+		return ws
+	}()
+	_, ws, err := app.RunSeq(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, pos0 := ws.Region("pos"), orig.Region("pos")
+	for d := 0; d < 3; d++ {
+		var sum float64
+		for i := 0; i < a.n; i++ {
+			sum += ws.F64(pos, 3*i+d) - orig.F64(pos0, 3*i+d)
+		}
+		if sum > 1e-9 || sum < -1e-9 {
+			t.Errorf("net momentum along axis %d = %g, want ~0", d, sum)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	a := New(48, 2)
+	_, seqWS, err := app.RunSeq(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range core.Kinds() {
+		_, parWS, err := app.RunSVM(cfg(), k, a)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if err := app.Validate(a, parWS, seqWS); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+	}
+	_, hwWS, err := app.RunHW(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Validate(a, hwWS, seqWS); err != nil {
+		t.Errorf("hwdsm: %v", err)
+	}
+}
+
+func TestLockHeavyProfile(t *testing.T) {
+	// Water-Nsquared is the paper's fine-grained-locking case: remote
+	// lock operations must dominate those of a lock-free run.
+	a := New(48, 2)
+	res, _, err := app.RunSVM(cfg(), core.Base, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Acct.LockOps == 0 {
+		t.Error("no remote lock operations recorded")
+	}
+	if res.Avg.T[2] == 0 { // Lock category
+		t.Error("no lock time in the breakdown")
+	}
+}

@@ -1,0 +1,72 @@
+package watersp
+
+import (
+	"testing"
+
+	"genima/internal/app"
+	"genima/internal/core"
+	"genima/internal/topo"
+)
+
+func cfg() topo.Config {
+	c := topo.Default()
+	c.Nodes = 4
+	c.ProcsPerNode = 2
+	return c
+}
+
+func TestBinningCoversAllMolecules(t *testing.T) {
+	a := New(64, 4, 1)
+	c := cfg()
+	ws := app.NewWorkspace(&c)
+	a.Setup(ws)
+	if a.start[len(a.start)-1] != a.n {
+		t.Fatalf("cell starts cover %d molecules, want %d", a.start[len(a.start)-1], a.n)
+	}
+	seen := make([]bool, a.n)
+	for _, m := range a.perm {
+		if seen[m] {
+			t.Fatalf("molecule %d appears twice in the permutation", m)
+		}
+		seen[m] = true
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	a := New(64, 4, 2)
+	_, seqWS, err := app.RunSeq(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range core.Kinds() {
+		_, parWS, err := app.RunSVM(cfg(), k, a)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if err := app.Validate(a, parWS, seqWS); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+	}
+	_, hwWS, err := app.RunHW(cfg(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Validate(a, hwWS, seqWS); err != nil {
+		t.Errorf("hwdsm: %v", err)
+	}
+}
+
+func TestCoarserLockingThanNsquared(t *testing.T) {
+	// The spatial decomposition must take far fewer remote lock
+	// operations than one per molecule per processor per step.
+	a := New(64, 4, 2)
+	res, _, err := app.RunSVM(cfg(), core.Base, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg()
+	perStepCeiling := uint64(c.NumProcs() * 64) // molecules × procs
+	if res.Acct.LockOps >= perStepCeiling*uint64(a.steps) {
+		t.Errorf("lock ops = %d, not coarser than per-molecule locking", res.Acct.LockOps)
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"genima/internal/sim"
+)
+
+// Barrier synchronization.
+//
+// Base: a centralized barrier. Each node's last-arriving processor (the
+// node leader) closes the write interval, flushes diffs, and sends an
+// arrival message — carrying the intervals the node created this epoch —
+// to the barrier master (node 0), interrupting it. When all nodes have
+// arrived, the master broadcasts a release message with the union of
+// intervals; every node's leader applies the invalidations.
+//
+// DW and later: barrier control information is deposited directly into
+// every node's protocol data structures. Each leader closes its
+// interval (notices travel by eager deposit), deposits an arrival flag
+// carrying its vector clock to all nodes, and then spins locally until
+// all flags arrive — no interrupts anywhere. Invalidations (and their
+// mprotect) are applied locally before leaving.
+
+type barArriveMsg struct {
+	src       int
+	seq       int
+	vc        []uint64
+	intervals []*interval
+}
+
+func (m *barArriveMsg) wireSize() int {
+	n := 16 + 8*len(m.vc)
+	for _, iv := range m.intervals {
+		n += iv.wireSize()
+	}
+	return n
+}
+
+type barReleaseMsg struct {
+	seq       int
+	vc        []uint64
+	intervals []*interval
+}
+
+func (m *barReleaseMsg) wireSize() int {
+	n := 16 + 8*len(m.vc)
+	for _, iv := range m.intervals {
+		n += iv.wireSize()
+	}
+	return n
+}
+
+// masterBarState is the master's per-epoch aggregation (Base).
+type masterBarState struct {
+	arrived   int
+	vc        []uint64
+	intervals []*interval
+}
+
+// selfIntervalsSince returns the intervals this node created with
+// seq > from (its contribution to the barrier exchange).
+func (n *Node) selfIntervalsSince(from uint64) []*interval {
+	return n.intervalsAfter(n.ID, from, n.vc[n.ID])
+}
+
+func (n *Node) barCounter(seq int) *sim.Counter {
+	ctr := n.barCount[seq]
+	if ctr == nil {
+		ctr = &sim.Counter{}
+		n.barCount[seq] = ctr
+	}
+	return ctr
+}
+
+func (n *Node) barVCFor(seq int) []uint64 {
+	v := n.barVC[seq]
+	if v == nil {
+		v = make([]uint64, n.sys.Cfg.Nodes)
+		n.barVC[seq] = v
+	}
+	return v
+}
+
+func (n *Node) barFlagFor(seq int) *sim.Flag {
+	f := n.barFlag[seq]
+	if f == nil {
+		f = &sim.Flag{}
+		n.barFlag[seq] = f
+	}
+	return f
+}
+
+// Barrier blocks the calling processor until all processors in the
+// system arrive. It returns the portion of this call's elapsed time
+// that was protocol processing rather than wait (for Table 2).
+func (n *Node) Barrier(p *sim.Proc) sim.Time {
+	seq := n.barSeq
+	ls := n.barLocal[seq]
+	if ls == nil {
+		ls = &barLocalSync{}
+		n.barLocal[seq] = ls
+	}
+	ls.arrived++
+	if ls.arrived < n.sys.Cfg.ProcsPerNode {
+		// Not the node leader: wait for the leader to finish the epoch.
+		ls.done.Wait(p)
+		return 0
+	}
+	// Node leader (last local arriver): advance the node's epoch and
+	// run the node's barrier protocol.
+	n.barSeq++
+	var proto sim.Time
+	if n.sys.Feat.DW {
+		proto = n.barrierDW(p, seq)
+	} else {
+		proto = n.barrierBase(p, seq)
+	}
+	n.Acct.BarrierProto += proto
+	delete(n.barLocal, seq)
+	ls.done.Set()
+	return proto
+}
+
+// barrierDW is the interrupt-free flag barrier (DW and later).
+func (n *Node) barrierDW(p *sim.Proc, seq int) sim.Time {
+	t0 := p.Now()
+	n.closeInterval(p) // diffs + eager notices
+	// Record own arrival locally, then deposit the flag everywhere.
+	myVC := append([]uint64(nil), n.vc...)
+	local := n.barVCFor(seq)
+	copy(local, maxVec(local, myVC))
+	n.barCounter(seq).Add(1)
+	for dst := 0; dst < n.sys.Cfg.Nodes; dst++ {
+		if dst == n.ID {
+			continue
+		}
+		dstNode := n.sys.Nodes[dst]
+		msg := &barArriveMsg{src: n.ID, seq: seq, vc: myVC}
+		n.ep.Deposit(p, dst, msg.wireSize(), "bar-flag", nil, func() {
+			dstNode.depositBarFlag(msg)
+		})
+	}
+	protoSoFar := p.Now() - t0
+
+	// Wait for every node's flag (pure wait time).
+	n.barCounter(seq).WaitFor(p, uint64(n.sys.Cfg.Nodes))
+
+	// Apply invalidations for everything the barrier saw. Waiting for
+	// in-flight notices counts as protocol time too: it is
+	// communication the protocol deferred to the barrier.
+	t1 := p.Now()
+	target := append([]uint64(nil), n.barVCFor(seq)...)
+	n.waitNotices(p, target)
+	n.applyUpTo(p, target)
+	delete(n.barCount, seq)
+	delete(n.barVC, seq)
+	return protoSoFar + (p.Now() - t1)
+}
+
+// depositBarFlag records a remote node's barrier arrival (engine
+// context; deposited by the NI).
+func (n *Node) depositBarFlag(m *barArriveMsg) {
+	v := n.barVCFor(m.seq)
+	copy(v, maxVec(v, m.vc))
+	n.barCounter(m.seq).Add(1)
+}
+
+// barrierBase is the centralized interrupt-driven barrier.
+func (n *Node) barrierBase(p *sim.Proc, seq int) sim.Time {
+	t0 := p.Now()
+	prevSelf := n.lastBarSelfSeq
+	n.closeInterval(p)
+	n.lastBarSelfSeq = n.vc[n.ID]
+	arrive := &barArriveMsg{
+		src:       n.ID,
+		seq:       seq,
+		vc:        append([]uint64(nil), n.vc...),
+		intervals: n.selfIntervalsSince(prevSelf),
+	}
+	if n.ID == 0 {
+		n.mb.Send(localMsg("bar-arrive", arrive))
+	} else {
+		n.ep.SendInterrupt(p, 0, arrive.wireSize(), "bar-arrive", arrive)
+	}
+	protoSoFar := p.Now() - t0
+
+	// Wait for the master's release (wait time).
+	f := n.barFlagFor(seq)
+	f.Wait(p)
+	rel := n.barPayload[seq]
+	delete(n.barFlag, seq)
+	delete(n.barPayload, seq)
+
+	// Apply the released coherence information (protocol time).
+	t2 := p.Now()
+	for _, iv := range rel {
+		if iv.Src != n.ID {
+			n.recordInterval(iv)
+		}
+	}
+	n.applyUpTo(p, n.barRelVC[seq])
+	delete(n.barRelVC, seq)
+	return protoSoFar + (p.Now() - t2)
+}
+
+// handleBarArrive runs on the master's protocol process.
+func (n *Node) handleBarArrive(p *sim.Proc, m *barArriveMsg) {
+	st := n.masterBar[m.seq]
+	if st == nil {
+		st = &masterBarState{vc: make([]uint64, n.sys.Cfg.Nodes)}
+		n.masterBar[m.seq] = st
+	}
+	st.arrived++
+	copy(st.vc, maxVec(st.vc, m.vc))
+	st.intervals = append(st.intervals, m.intervals...)
+	if st.arrived < n.sys.Cfg.Nodes {
+		return
+	}
+	delete(n.masterBar, m.seq)
+	rel := &barReleaseMsg{seq: m.seq, vc: st.vc, intervals: st.intervals}
+	for dst := 0; dst < n.sys.Cfg.Nodes; dst++ {
+		if dst == n.ID {
+			n.handleBarRelease(rel)
+			continue
+		}
+		n.ep.SendInterrupt(p, dst, rel.wireSize(), "bar-release", rel)
+	}
+}
+
+// handleBarRelease delivers the release to the waiting node leader.
+func (n *Node) handleBarRelease(m *barReleaseMsg) {
+	n.barPayload[m.seq] = m.intervals
+	n.barRelVC[m.seq] = m.vc
+	n.barFlagFor(m.seq).Set()
+}

@@ -1,0 +1,354 @@
+// Package core implements the paper's contribution: the home-based lazy
+// release consistency SVM protocol family running over VMMC.
+//
+// Five cumulative protocol configurations are supported, exactly the
+// ladder evaluated in §3.3 of the paper:
+//
+//	Base    — HLRC-SMP: every incoming protocol request (page fetch,
+//	          lock acquire, diff application) interrupts a host
+//	          processor and is serviced by a floating protocol process.
+//	DW      — direct writes: write notices and barrier control
+//	          information are deposited directly into remote protocol
+//	          data structures at release time, eagerly, with no
+//	          interrupts for coherence propagation.
+//	DW+RF   — remote fetch: page timestamps and page data are pulled
+//	          from the home by the requesting node's NI, with requester
+//	          retry when the home version is stale.
+//	DW+RF+DD — direct diffs: each contiguous run of modified words is
+//	          deposited straight into the home copy as the diff is
+//	          computed at release time (hybrid: skipped when the lock
+//	          moves to another processor in the same node).
+//	GeNIMA  — all of the above plus NI locks: mutual exclusion handled
+//	          entirely in NI firmware; no interrupts remain.
+//
+// Shared data is real: applications read and write bytes in page copies,
+// twins are compared word by word, and diffs are applied at homes, so a
+// protocol bug produces wrong application output, not just wrong timing.
+package core
+
+import (
+	"fmt"
+
+	"genima/internal/memory"
+	"genima/internal/sim"
+	"genima/internal/stats"
+	"genima/internal/topo"
+	"genima/internal/vmmc"
+)
+
+// Kind selects a protocol configuration.
+type Kind int
+
+// The protocol ladder, in the paper's order.
+const (
+	Base Kind = iota
+	DW
+	DWRF
+	DWRFDD
+	GeNIMA
+)
+
+var kindNames = [...]string{"Base", "DW", "DW+RF", "DW+RF+DD", "GeNIMA"}
+
+// String names the protocol.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Kinds lists all protocol rungs in evaluation order.
+func Kinds() []Kind { return []Kind{Base, DW, DWRF, DWRFDD, GeNIMA} }
+
+// Features are the individual NI mechanisms; each Kind enables a prefix.
+type Features struct {
+	DW  bool // remote deposit for protocol data (eager write notices)
+	RF  bool // remote fetch for pages + timestamps
+	DD  bool // direct diffs
+	NIL bool // NI locks
+}
+
+// FeaturesOf expands a Kind into its feature set.
+func FeaturesOf(k Kind) Features {
+	switch k {
+	case Base:
+		return Features{}
+	case DW:
+		return Features{DW: true}
+	case DWRF:
+		return Features{DW: true, RF: true}
+	case DWRFDD:
+		return Features{DW: true, RF: true, DD: true}
+	default:
+		return Features{DW: true, RF: true, DD: true, NIL: true}
+	}
+}
+
+// System is one protocol instance spanning the cluster.
+type System struct {
+	Eng   *sim.Engine
+	Cfg   *topo.Config
+	Kind  Kind
+	Feat  Features
+	Space *memory.Space
+	Layer *vmmc.Layer
+	Nodes []*Node
+
+	locks map[int]*lockMeta // Base-path lock directory metadata
+}
+
+// New creates a protocol system over a fresh communication layer. The
+// space must be fully allocated before Start is called.
+func New(eng *sim.Engine, cfg *topo.Config, kind Kind, space *memory.Space) *System {
+	s := &System{
+		Eng:   eng,
+		Cfg:   cfg,
+		Kind:  kind,
+		Feat:  FeaturesOf(kind),
+		Space: space,
+		Layer: vmmc.New(eng, cfg),
+		locks: map[int]*lockMeta{},
+	}
+	s.Nodes = make([]*Node, cfg.Nodes)
+	for i := range s.Nodes {
+		s.Nodes[i] = newNode(s, i)
+	}
+	return s
+}
+
+// Start finalizes per-page state (after all allocations) and launches
+// the Base protocol processes. Call exactly once, before application
+// processors run.
+func (s *System) Start() {
+	for _, n := range s.Nodes {
+		n.start()
+	}
+}
+
+// Node returns node i.
+func (s *System) Node(i int) *Node { return s.Nodes[i] }
+
+// Accounting aggregates per-node protocol accounting.
+func (s *System) Accounting() stats.SVMAccounting {
+	var a stats.SVMAccounting
+	for _, n := range s.Nodes {
+		a.Merge(n.Acct)
+	}
+	return a
+}
+
+// interval is one node's closed write interval: the unit of coherence
+// information (a write notice batch).
+type interval struct {
+	Src   int
+	Seq   uint64
+	Pages []int32
+}
+
+// wireSize returns the interval's size as a write-notice message.
+func (iv *interval) wireSize() int { return 16 + 4*len(iv.Pages) }
+
+// pageState is a node's view of one page.
+type pageState uint8
+
+const (
+	pageInvalid pageState = iota
+	pageValid
+)
+
+// Node is the per-SMP-node protocol state: the node-level page table
+// (hardware coherence is exploited inside the node), interval log,
+// vector clock, and — for pages homed here — the per-writer applied
+// versions.
+type Node struct {
+	sys *System
+	ID  int
+
+	Mem *memory.NodeMem
+	ep  *vmmc.Endpoint
+
+	state    []pageState
+	inFlight map[int]*sim.Flag // page-id -> fetch completion
+	homeWait map[int]*sim.WaitQ
+
+	vc      []uint64       // applied interval seq per source node
+	arrived []*sim.Counter // deposited notice count per source node
+	log     [][]*interval  // received intervals per source, indexed seq-1
+
+	need    [][]uint64 // per page: required home version per writer node
+	copyVer [][]uint64 // per page: home version row at fetch time (nil = never fetched)
+	homeVer [][]uint64 // per page homed here: applied interval seq per writer
+
+	dirty  map[int]struct{} // pages written in the open interval
+	ivGate *sim.Gate        // serializes interval close within the node
+
+	pendingReqs map[int][]pendingPage // Base: queued page requests per page
+
+	locks map[int]*nodeLock
+
+	// Base protocol process.
+	mb        sim.Mailbox[vmmc.Msg]
+	protoProc *sim.Proc
+
+	// Interrupt scheduling perturbation, charged round-robin to the
+	// node's compute processors at their next compute step.
+	steal  []sim.Time
+	victim int
+
+	// Barrier state.
+	barSeq         int
+	barCount       map[int]*sim.Counter    // barrier seq -> arrival counter (DW flags)
+	barVC          map[int][]uint64        // barrier seq -> element-wise max vc of arrivals
+	barFlag        map[int]*sim.Flag       // barrier seq -> node released (Base)
+	barPayload     map[int][]*interval     // Base: intervals delivered with release
+	barRelVC       map[int][]uint64        // Base: release vector clock
+	barLocal       map[int]*barLocalSync   // intra-node arrival bookkeeping
+	masterBar      map[int]*masterBarState // Base master aggregation (node 0)
+	lastBarSelfSeq uint64                  // own intervals already exchanged at barriers
+
+	Acct stats.SVMAccounting
+}
+
+type barLocalSync struct {
+	arrived int
+	done    sim.Flag
+}
+
+func newNode(s *System, id int) *Node {
+	n := &Node{
+		sys:         s,
+		ID:          id,
+		ep:          s.Layer.Endpoint(id),
+		inFlight:    map[int]*sim.Flag{},
+		homeWait:    map[int]*sim.WaitQ{},
+		vc:          make([]uint64, s.Cfg.Nodes),
+		arrived:     make([]*sim.Counter, s.Cfg.Nodes),
+		log:         make([][]*interval, s.Cfg.Nodes),
+		dirty:       map[int]struct{}{},
+		ivGate:      sim.NewGate(1),
+		pendingReqs: map[int][]pendingPage{},
+		locks:       map[int]*nodeLock{},
+		steal:       make([]sim.Time, s.Cfg.ProcsPerNode),
+		barCount:    map[int]*sim.Counter{},
+		barVC:       map[int][]uint64{},
+		barFlag:     map[int]*sim.Flag{},
+		barPayload:  map[int][]*interval{},
+		barRelVC:    map[int][]uint64{},
+		barLocal:    map[int]*barLocalSync{},
+		masterBar:   map[int]*masterBarState{},
+	}
+	for i := range n.arrived {
+		n.arrived[i] = &sim.Counter{}
+	}
+	n.ep.Perturb = n.perturb
+	n.ep.InterruptSink = func(m vmmc.Msg) { n.mb.Send(m) }
+	return n
+}
+
+func (n *Node) start() {
+	np := n.sys.Space.NPages()
+	n.Mem = memory.NewNodeMem(n.sys.Space)
+	n.state = make([]pageState, np)
+	n.need = make([][]uint64, np)
+	n.copyVer = make([][]uint64, np)
+	n.homeVer = make([][]uint64, np)
+	for p := 0; p < np; p++ {
+		n.need[p] = make([]uint64, n.sys.Cfg.Nodes)
+		if n.sys.Space.Home(p) == n.ID {
+			n.homeVer[p] = make([]uint64, n.sys.Cfg.Nodes)
+			n.state[p] = pageValid // the home copy is always materialized
+		}
+	}
+	if n.sys.Feat.RF {
+		n.ep.FetchServer = n.serveFetch
+	}
+	// The floating protocol process exists in all configurations (some
+	// residual interrupt-class traffic exists until GeNIMA), but under
+	// GeNIMA it never receives a message.
+	n.protoProc = n.sys.Eng.Go(fmt.Sprintf("proto-%d", n.ID), n.protoLoop)
+}
+
+// perturb charges interrupt scheduling perturbation to the next victim
+// compute processor (round robin).
+func (n *Node) perturb() {
+	n.steal[n.victim] += n.sys.Cfg.Costs.SchedPerturb
+	n.victim = (n.victim + 1) % len(n.steal)
+}
+
+// TakeSteal consumes pending stolen time for processor slot cpu; the app
+// harness adds it to the processor's next compute period.
+func (n *Node) TakeSteal(cpu int) sim.Time {
+	t := n.steal[cpu]
+	n.steal[cpu] = 0
+	return t
+}
+
+// PageBytes returns the node's working copy of a page: the authoritative
+// home copy when this node is the page's home, the local copy otherwise.
+// Callers must bracket accesses with EnsureReadable/EnsureWritable.
+func (n *Node) PageBytes(page int) []byte {
+	if n.sys.Space.Home(page) == n.ID {
+		return n.sys.Space.HomeCopy(page)
+	}
+	return n.Mem.Page(page)
+}
+
+// needSatisfied reports whether verRow covers this node's requirements
+// for page p.
+func (n *Node) needSatisfied(p int, verRow []uint64) bool {
+	for src, want := range n.need[p] {
+		if verRow[src] < want {
+			return false
+		}
+	}
+	return true
+}
+
+// applyIntervalMeta applies a write notice: records the page requirement
+// and collects pages to invalidate (the caller batches the mprotect).
+// Pages homed at this node are not invalidated (the home copy is master);
+// accesses to them wait on the home version instead. A local copy that
+// was fetched after the interval's diff reached the home is already
+// current and is not invalidated (the copy-version check of HLRC).
+func (n *Node) applyIntervalMeta(iv *interval, invalidate *[]int) {
+	for _, p32 := range iv.Pages {
+		p := int(p32)
+		if n.need[p][iv.Src] < iv.Seq {
+			n.need[p][iv.Src] = iv.Seq
+		}
+		if n.sys.Space.Home(p) == n.ID {
+			continue
+		}
+		if n.state[p] == pageValid && (n.copyVer[p] == nil || n.copyVer[p][iv.Src] < iv.Seq) {
+			n.state[p] = pageInvalid
+			*invalidate = append(*invalidate, p)
+		}
+	}
+	if n.vc[iv.Src] < iv.Seq {
+		n.vc[iv.Src] = iv.Seq
+	}
+}
+
+// recordInterval stores a received interval in the log.
+func (n *Node) recordInterval(iv *interval) {
+	lg := n.log[iv.Src]
+	for uint64(len(lg)) < iv.Seq {
+		lg = append(lg, nil)
+	}
+	lg[iv.Seq-1] = iv
+	n.log[iv.Src] = lg
+}
+
+// intervalsAfter returns this node's known intervals from src in
+// (from, to], for piggybacking on Base lock grants.
+func (n *Node) intervalsAfter(src int, from, to uint64) []*interval {
+	var out []*interval
+	lg := n.log[src]
+	for s := from + 1; s <= to; s++ {
+		if s-1 < uint64(len(lg)) && lg[s-1] != nil {
+			out = append(out, lg[s-1])
+		}
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"sort"
+
+	"genima/internal/memory"
+	"genima/internal/sim"
+)
+
+// Interval close and diff propagation.
+//
+// In Base/DW/DW+RF an interval closes lazily at the first incoming
+// remote acquire (or at a barrier); diffs for the interval's dirty
+// pages are then packed and sent to each page's home, where a host
+// interrupt + the protocol process applies them. With DD (direct
+// diffs), the interval closes eagerly at release and each contiguous
+// run of modified words is deposited straight into the home copy as the
+// diff is computed, followed by a version marker — no home processor
+// involvement (which is why DD requires remote fetch with retry).
+
+// diffMsg is a packed diff for one page (Base path).
+type diffMsg struct {
+	page int
+	src  int
+	seq  uint64
+	runs []memory.Run
+}
+
+func (d *diffMsg) wireSize() int {
+	return diffMsgOverhead + memory.RunsBytes(d.runs) + runHeader*len(d.runs)
+}
+
+// closeInterval closes the node's open write interval: computes diffs
+// for dirty pages, propagates them to homes, logs the interval, and (in
+// DW and later) eagerly broadcasts the write notice to every node. It
+// returns the new interval, or nil if nothing was written.
+//
+// p is the process doing the work: an application processor at a
+// release/barrier (DD, NIL, barriers) or the Base protocol process at
+// an incoming acquire.
+func (n *Node) closeInterval(p *sim.Proc) *interval {
+	// Serialize interval closes within the node: two processors (e.g. a
+	// lock release and a barrier leader, or the Base protocol process
+	// granting a lock) must not close overlapping intervals, and write
+	// notices must leave the node in sequence order.
+	n.ivGate.Acquire(p)
+	if len(n.dirty) == 0 {
+		n.ivGate.Release()
+		return nil
+	}
+	// Snapshot and reset the dirty set before any yield: writes during
+	// the flush start a fresh interval.
+	pages := make([]int32, 0, len(n.dirty))
+	for pg := range n.dirty {
+		pages = append(pages, int32(pg))
+	}
+	n.dirty = map[int]struct{}{}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+
+	seq := n.vc[n.ID] + 1
+	n.vc[n.ID] = seq
+	iv := &interval{Src: n.ID, Seq: seq, Pages: pages}
+	n.recordInterval(iv)
+
+	for _, pg32 := range pages {
+		n.flushPage(p, int(pg32), seq)
+	}
+
+	if n.sys.Feat.DW {
+		n.broadcastNotice(p, iv)
+	}
+	n.ivGate.Release()
+	return iv
+}
+
+// flushPage diffs one dirty page against its twin and propagates the
+// changes to the page's home.
+func (n *Node) flushPage(p *sim.Proc, pg int, seq uint64) {
+	c := &n.sys.Cfg.Costs
+	home := n.sys.Space.Home(pg)
+
+	// A later fetch of this page (if our copy gets invalidated by some
+	// other writer's notice) must not return a home version predating
+	// this flush, or we would lose our own writes: record the
+	// requirement against ourselves too.
+	if n.need[pg][n.ID] < seq {
+		n.need[pg][n.ID] = seq
+	}
+
+	if home == n.ID {
+		// Home writes go directly to the home copy; only the version
+		// advances (visible to fetchers immediately after).
+		n.bumpVersion(nil, pg, n.ID, seq)
+		return
+	}
+	var runs []memory.Run
+	if n.Mem.HasTwin(pg) {
+		// Word-by-word comparison of the page against its twin.
+		p.Sleep(sim.Time(float64(n.sys.Cfg.PageSize) * c.DiffPerByte))
+		n.Acct.DiffCompute += sim.Time(float64(n.sys.Cfg.PageSize) * c.DiffPerByte)
+		runs = memory.CloneRuns(n.Mem.Diff(pg))
+		n.Mem.DropTwin(pg)
+		n.Acct.DiffBytes += uint64(memory.RunsBytes(runs))
+	}
+	// No twin: the page's modifications were already flushed (e.g. an
+	// early flush when a notice invalidated a concurrently written
+	// page); only the version needs to advance for this interval.
+
+	if n.sys.Feat.DD {
+		if n.sys.Cfg.ScatterGather && len(runs) > 1 {
+			// The scatter-gather extension (paper §3.3, not adopted
+			// there): all runs travel as one gathered message that the
+			// home NI scatters itself — one message instead of many, at
+			// extra NI occupancy on both sides.
+			size := diffMsgOverhead + memory.RunsBytes(runs) + runHeader*len(runs)
+			homeNode := n.sys.Nodes[home]
+			src := n.ID
+			n.ep.DepositGathered(p, home, size, "sg-diff", func() {
+				memory.ApplyRuns(n.sys.Space.HomeCopy(pg), runs)
+				homeNode.bumpVersion(nil, pg, src, seq)
+			})
+			return
+		}
+		// Direct diffs: one remote deposit per contiguous run, applied
+		// into the home copy by the home NI, then a version marker.
+		for _, r := range runs {
+			r := r
+			n.ep.Deposit(p, home, runHeader+len(r.Data), "direct-diff", nil, func() {
+				memory.ApplyRuns(n.sys.Space.HomeCopy(pg), []memory.Run{r})
+			})
+		}
+		n.sendVersionMarker(p, home, pg, seq)
+		return
+	}
+
+	// Packed diff: single message, interrupt + protocol process applies
+	// (sent even when empty so the home's version row advances under
+	// protocol-process control and queued page requests are retried).
+	d := &diffMsg{page: pg, src: n.ID, seq: seq, runs: runs}
+	n.ep.SendInterrupt(p, home, d.wireSize(), "diff", d)
+}
+
+// closePageEarly closes a one-page interval for a dirty page that is
+// about to be invalidated by an incoming write notice (a concurrent
+// writer on the same page). It is a full interval close — own sequence
+// number, log entry, and (DW) write notice — so that waiters keyed to
+// any other interval's sequence are not satisfied prematurely and other
+// nodes still learn about the flushed writes.
+func (n *Node) closePageEarly(p *sim.Proc, pg int) {
+	n.ivGate.Acquire(p)
+	if _, still := n.dirty[pg]; !still || !n.Mem.HasTwin(pg) {
+		n.ivGate.Release()
+		return // a concurrent close already flushed it
+	}
+	delete(n.dirty, pg)
+	seq := n.vc[n.ID] + 1
+	n.vc[n.ID] = seq
+	iv := &interval{Src: n.ID, Seq: seq, Pages: []int32{int32(pg)}}
+	n.recordInterval(iv)
+	n.flushPage(p, pg, seq)
+	if n.sys.Feat.DW {
+		n.broadcastNotice(p, iv)
+	}
+	n.ivGate.Release()
+}
+
+// sendVersionMarker deposits the "diffs for (pg, src, seq) are all
+// ahead of this message" marker; per-pair FIFO ordering guarantees the
+// run deposits land first.
+func (n *Node) sendVersionMarker(p *sim.Proc, home, pg int, seq uint64) {
+	src := n.ID
+	homeNode := n.sys.Nodes[home]
+	n.ep.Deposit(p, home, 16, "diff-done", nil, func() {
+		homeNode.bumpVersion(nil, pg, src, seq)
+	})
+}
+
+// applyPackedDiff runs on the home's protocol process (Base path).
+func (n *Node) applyPackedDiff(p *sim.Proc, d *diffMsg) {
+	c := &n.sys.Cfg.Costs
+	p.Sleep(sim.Time(float64(d.wireSize()) * c.HandlerPerByte))
+	memory.ApplyRuns(n.sys.Space.HomeCopy(d.page), d.runs)
+	n.bumpVersion(p, d.page, d.src, d.seq)
+}
+
+// bumpVersion advances the applied-version row for a page homed here,
+// wakes local accessors waiting on the home copy, and (Base) retries
+// queued page requests. p may be nil in event context (DD markers),
+// where no queued Base requests can exist.
+func (n *Node) bumpVersion(p *sim.Proc, pg, src int, seq uint64) {
+	if n.homeVer[pg][src] < seq {
+		n.homeVer[pg][src] = seq
+	}
+	if wq := n.homeWait[pg]; wq != nil {
+		wq.WakeAll()
+	}
+	if p != nil {
+		n.retryPending(p, pg)
+	}
+}
+
+// broadcastNotice eagerly deposits the interval's write notice into
+// every other node's protocol data structures (the DW mechanism). With
+// the NI-broadcast extension (paper §5), the host posts once and the
+// fabric replicates.
+func (n *Node) broadcastNotice(p *sim.Proc, iv *interval) {
+	if n.sys.Cfg.NIBroadcast && iv.wireSize() <= n.sys.Cfg.MaxPacket {
+		sys := n.sys
+		n.ep.DepositBroadcast(p, iv.wireSize(), "notice", func(dst int) {
+			sys.Nodes[dst].depositNotice(iv)
+		})
+		return
+	}
+	for dst := 0; dst < n.sys.Cfg.Nodes; dst++ {
+		if dst == n.ID {
+			continue
+		}
+		dstNode := n.sys.Nodes[dst]
+		n.ep.Deposit(p, dst, iv.wireSize(), "notice", nil, func() {
+			dstNode.depositNotice(iv)
+		})
+	}
+}
+
+// depositNotice records an eagerly deposited write notice (engine
+// context, NI deposit: no host time).
+func (n *Node) depositNotice(iv *interval) {
+	n.recordInterval(iv)
+	// Per-pair FIFO delivery means notices from one source arrive in
+	// seq order, so the arrival counter equals the highest arrived seq.
+	n.arrived[iv.Src].Add(1)
+}
+
+// waitNotices blocks until every source's notices up to target have
+// been deposited locally (the protocol "flags" of §2).
+func (n *Node) waitNotices(p *sim.Proc, target []uint64) {
+	for src, want := range target {
+		if src == n.ID {
+			continue
+		}
+		n.arrived[src].WaitFor(p, want)
+	}
+}
+
+// applyUpTo applies invalidations for all logged intervals with
+// seq <= target[src] that this node has not yet applied, batching the
+// mprotect cost. Dirty pages being invalidated are flushed first
+// (concurrent-writer case). Returns the mprotect time charged.
+func (n *Node) applyUpTo(p *sim.Proc, target []uint64) sim.Time {
+	var invalidate []int
+	for src := range target {
+		if src == n.ID {
+			continue
+		}
+		for seq := n.vc[src] + 1; seq <= target[src]; seq++ {
+			iv := n.log[src][seq-1]
+			if iv == nil {
+				panic("core: applying unknown interval")
+			}
+			// Flush concurrent local modifications before invalidating
+			// (skipped when the copy-version check will keep the copy
+			// valid anyway).
+			for _, pg32 := range iv.Pages {
+				pg := int(pg32)
+				if n.copyVer[pg] != nil && n.copyVer[pg][iv.Src] >= seq {
+					continue
+				}
+				if _, isDirty := n.dirty[pg]; isDirty && n.sys.Space.Home(pg) != n.ID && n.Mem.HasTwin(pg) {
+					n.closePageEarly(p, pg)
+				}
+			}
+			n.applyIntervalMeta(iv, &invalidate)
+		}
+	}
+	if len(invalidate) == 0 {
+		return 0
+	}
+	c := &n.sys.Cfg.Costs
+	cost, calls := memory.MprotectCost(invalidate, c.MprotectBase, c.MprotectPerPage)
+	p.Sleep(cost)
+	n.Acct.Mprotect += cost
+	n.Acct.MprotectOps += uint64(calls)
+	return cost
+}
+
+// maxVec returns the element-wise max of a and b into a new slice.
+func maxVec(a, b []uint64) []uint64 {
+	out := make([]uint64, len(a))
+	for i := range a {
+		out[i] = a[i]
+		if b[i] > out[i] {
+			out[i] = b[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"genima/internal/memory"
+	"genima/internal/sim"
+	"genima/internal/vmmc"
+)
+
+// Page fault handling: read faults fetch the page from its home (via an
+// interrupt-serviced request in Base, via NI remote fetch with retry in
+// RF and later); write faults additionally create a twin. Faults are the
+// "Data wait time" component of the paper's breakdowns.
+
+// pendingPage is a queued Base-protocol page request at the home that
+// cannot be answered until pending diffs arrive.
+type pendingPage struct {
+	src int
+	msg *pageReqMsg
+}
+
+// fetchPayload is what a page fetch returns: a snapshot of the home copy
+// and the home's applied-version row at snapshot time.
+type fetchPayload struct {
+	page int
+	data []byte
+	ver  []uint64
+}
+
+// pageReqMsg is the Base-protocol page request payload.
+type pageReqMsg struct {
+	page int
+	need []uint64
+	done *sim.Flag
+	data *fetchPayload // reply destination (deposited by home)
+}
+
+const (
+	pageReqOverhead   = 32 // request header bytes
+	pageReplyOverhead = 32 // reply header + version row
+	diffMsgOverhead   = 16
+	runHeader         = 8
+	lockMsgOverhead   = 16
+)
+
+// EnsureReadable makes pages [first, last] readable by the calling
+// processor, fetching any missing ones. All blocking time is virtual
+// (the caller's harness attributes the elapsed time to Data wait).
+func (n *Node) EnsureReadable(p *sim.Proc, first, last int) {
+	for pg := first; pg <= last; pg++ {
+		n.faultIn(p, pg)
+	}
+}
+
+// EnsureWritable makes pages [first, last] writable: readable plus
+// twinned (non-home pages) and registered in the open interval. The
+// sleeps inside (mprotect, twin copy) yield the processor; another
+// processor of the node may invalidate the page meanwhile (applying a
+// notice at its own acquire), so every step re-checks page state.
+func (n *Node) EnsureWritable(p *sim.Proc, first, last int) {
+	c := &n.sys.Cfg.Costs
+	for pg := first; pg <= last; pg++ {
+		home := n.sys.Space.Home(pg) == n.ID
+		for {
+			n.faultIn(p, pg)
+			_, dirtyAlready := n.dirty[pg]
+			if home {
+				if !dirtyAlready {
+					// Home pages are written in place; the write fault
+					// still costs a protection change for tracking.
+					p.Sleep(c.MprotectBase)
+					n.Acct.Mprotect += c.MprotectBase
+					n.Acct.MprotectOps++
+					n.dirty[pg] = struct{}{}
+				}
+				break
+			}
+			if dirtyAlready && n.Mem.HasTwin(pg) && n.state[pg] == pageValid {
+				break
+			}
+			if !n.Mem.HasTwin(pg) {
+				// Write fault: mprotect to RW plus twin creation.
+				p.Sleep(c.MprotectBase)
+				n.Acct.Mprotect += c.MprotectBase
+				n.Acct.MprotectOps++
+				p.Sleep(sim.Time(float64(n.sys.Cfg.PageSize) * c.TwinCopyPerByte))
+				if n.state[pg] != pageValid {
+					continue // invalidated during the sleeps: refetch first
+				}
+				n.Mem.MakeTwin(pg)
+				n.dirty[pg] = struct{}{}
+				break
+			}
+			// A twin exists but the page is not (or no longer cleanly)
+			// in the dirty set: an interval close snapshotted the dirty
+			// set and is mid-flush on this page. Wait for the close to
+			// finish — the twin will be consumed — then retry.
+			n.ivGate.Acquire(p)
+			n.ivGate.Release()
+		}
+	}
+}
+
+// faultIn ensures one page is present and readable at this node,
+// re-checking after every blocking step (a concurrent processor's
+// acquire may invalidate the page while this one sleeps).
+func (n *Node) faultIn(p *sim.Proc, page int) {
+	if n.sys.Space.Home(page) == n.ID {
+		// The home copy is the master; a local access must only wait
+		// until the diffs this node has seen notices for are applied.
+		for !n.needSatisfied(page, n.homeVer[page]) {
+			wq := n.homeWait[page]
+			if wq == nil {
+				wq = &sim.WaitQ{}
+				n.homeWait[page] = wq
+			}
+			wq.Wait(p)
+		}
+		return
+	}
+	c := &n.sys.Cfg.Costs
+	for n.state[page] != pageValid {
+		// Collapse concurrent faults on the same page within the node.
+		if f := n.inFlight[page]; f != nil {
+			f.Wait(p)
+			continue
+		}
+		f := &sim.Flag{}
+		n.inFlight[page] = f
+
+		var data []byte
+		var ver []uint64
+		if n.sys.Feat.RF {
+			data, ver = n.fetchRF(p, page)
+		} else {
+			data, ver = n.fetchBase(p, page)
+		}
+		n.installFetched(page, data)
+		n.copyVer[page] = ver
+		n.state[page] = pageValid
+		// Map the fresh page read-only.
+		p.Sleep(c.MprotectBase)
+		n.Acct.Mprotect += c.MprotectBase
+		n.Acct.MprotectOps++
+		n.Acct.PageFetches++
+
+		delete(n.inFlight, page)
+		f.Set()
+	}
+}
+
+// installFetched installs a fetched page. If the page carries unflushed
+// local modifications (it was re-dirtied while an interval close or an
+// early flush was in progress and then invalidated), those words are
+// re-applied on top of the fetched data so they are not lost — the
+// multiple-writer guarantee across a refetch.
+func (n *Node) installFetched(page int, data []byte) {
+	if !n.Mem.HasTwin(page) {
+		n.Mem.InstallCopy(page, data)
+		return
+	}
+	mods := memory.CloneRuns(n.Mem.Diff(page))
+	n.Mem.DropTwin(page)
+	n.Mem.InstallCopy(page, data)
+	n.Mem.MakeTwin(page)
+	memory.ApplyRuns(n.Mem.Page(page), mods)
+}
+
+// fetchBase is the interrupt path: request -> home protocol process ->
+// reply deposit. The home queues the request if diffs are pending.
+func (n *Node) fetchBase(p *sim.Proc, page int) ([]byte, []uint64) {
+	home := n.sys.Space.Home(page)
+	for {
+		req := &pageReqMsg{
+			page: page,
+			need: append([]uint64(nil), n.need[page]...),
+			done: &sim.Flag{},
+			data: &fetchPayload{},
+		}
+		n.ep.SendInterrupt(p, home, pageReqOverhead+8*len(req.need), "page-req", req)
+		req.done.Wait(p)
+		// Another processor in this node may have raised the page's
+		// requirements (by applying notices) while the request was in
+		// flight; re-request if the reply no longer satisfies them.
+		if n.needSatisfied(page, req.data.ver) {
+			return req.data.data, req.data.ver
+		}
+		n.Acct.FetchRetries++
+	}
+}
+
+// fetchRF is the NI remote-fetch path with requester retry on stale
+// versions (no home processor involvement).
+func (n *Node) fetchRF(p *sim.Proc, page int) ([]byte, []uint64) {
+	home := n.sys.Space.Home(page)
+	size := n.sys.Cfg.PageSize + pageReplyOverhead
+	for {
+		rep := n.ep.RemoteFetch(p, home, size, "page", page)
+		pl := rep.Payload.(*fetchPayload)
+		if n.needSatisfied(page, pl.ver) {
+			return pl.data, pl.ver
+		}
+		n.Acct.FetchRetries++
+		p.Sleep(n.sys.Cfg.Costs.FetchRetryBackoff)
+	}
+}
+
+// serveFetch runs in the home NI's firmware: snapshot the page and its
+// version row. No host time is charged.
+func (n *Node) serveFetch(req vmmc.FetchReq) vmmc.FetchReply {
+	page := req.Tag.(int)
+	data := make([]byte, n.sys.Cfg.PageSize)
+	copy(data, n.sys.Space.HomeCopy(page))
+	ver := append([]uint64(nil), n.homeVer[page]...)
+	return vmmc.FetchReply{
+		Payload: &fetchPayload{page: page, data: data, ver: ver},
+		Size:    n.sys.Cfg.PageSize + pageReplyOverhead,
+	}
+}
+
+// handlePageReq services a Base page request on the home's protocol
+// process (process context).
+func (n *Node) handlePageReq(p *sim.Proc, src int, req *pageReqMsg) {
+	if !vecCovered(req.need, n.homeVer[req.page]) {
+		n.pendingReqs[req.page] = append(n.pendingReqs[req.page], pendingPage{src: src, msg: req})
+		return
+	}
+	n.replyPage(p, src, req)
+}
+
+func (n *Node) replyPage(p *sim.Proc, src int, req *pageReqMsg) {
+	data := make([]byte, n.sys.Cfg.PageSize)
+	copy(data, n.sys.Space.HomeCopy(req.page))
+	ver := append([]uint64(nil), n.homeVer[req.page]...)
+	n.ep.Deposit(p, src, n.sys.Cfg.PageSize+pageReplyOverhead, "page-reply", nil, func() {
+		req.data.data = data
+		req.data.ver = ver
+		req.done.Set()
+	})
+}
+
+// retryPending re-checks queued page requests after a diff application
+// at the home (process context: the Base protocol process).
+func (n *Node) retryPending(p *sim.Proc, page int) {
+	reqs := n.pendingReqs[page]
+	if len(reqs) == 0 {
+		return
+	}
+	var keep []pendingPage
+	for _, r := range reqs {
+		if vecCovered(r.msg.need, n.homeVer[page]) {
+			n.replyPage(p, r.src, r.msg)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	n.pendingReqs[page] = keep
+}
+
+// vecCovered reports whether have >= want element-wise.
+func vecCovered(want, have []uint64) bool {
+	for i, w := range want {
+		if have[i] < w {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+
+	"genima/internal/sim"
+	"genima/internal/vmmc"
+)
+
+// The floating protocol process (HLRC-SMP): one per node, scheduled by
+// interrupts, servicing incoming asynchronous protocol requests. In the
+// Base protocol it handles page requests, packed diff applications, lock
+// chain operations, and barrier control; each GeNIMA mechanism removes a
+// class of messages from this loop until (GeNIMA) it receives none.
+
+// localMsg wraps a request a node sends to its own protocol process
+// (directory lookups at the local home) — no interrupt, no network.
+func localMsg(kind string, payload any) vmmc.Msg {
+	return vmmc.Msg{Src: -1, Kind: kind, Size: 0, Payload: payload}
+}
+
+func (n *Node) protoLoop(p *sim.Proc) {
+	c := &n.sys.Cfg.Costs
+	for {
+		m := n.mb.Recv(p)
+		p.Sleep(c.HandlerFixed)
+		if m.Src >= 0 {
+			n.Acct.Interrupts++
+		}
+		switch m.Kind {
+		case "page-req":
+			n.handlePageReq(p, m.Src, m.Payload.(*pageReqMsg))
+		case "diff":
+			n.applyPackedDiff(p, m.Payload.(*diffMsg))
+		case "lock-req":
+			n.handleLockReq(p, m.Payload.(*lockReqMsg))
+		case "lock-fwd":
+			req := m.Payload.(*lockReqMsg)
+			n.handleLockFwd(p, req.id, &remoteReq{requester: req.requester, reqVC: req.reqVC})
+		case "bar-arrive":
+			n.handleBarArrive(p, m.Payload.(*barArriveMsg))
+		case "bar-release":
+			n.handleBarRelease(m.Payload.(*barReleaseMsg))
+		default:
+			panic(fmt.Sprintf("core: protocol process got unknown message %q", m.Kind))
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+
+	"genima/internal/sim"
+)
+
+// Lock synchronization.
+//
+// Base path (also DW, DW+RF, DW+RF+DD): every lock has a static home.
+// An acquire message interrupts the home, which forwards it to the last
+// owner (updating the distributed chain tail); the owner's host —
+// interrupted, or at its next release — closes its write interval,
+// flushes diffs, and sends the grant. In Base the grant piggybacks the
+// write notices the requester lacks; with DW the notices have already
+// been deposited eagerly and the grant carries only the releaser's
+// vector timestamp.
+//
+// NIL path (GeNIMA): vmmc's NI firmware locks carry the releaser's
+// vector timestamp as an opaque payload; no host other than the
+// requester is involved, and diffs/notices are produced eagerly at
+// release, before the lock is handed to the NI.
+//
+// Within a node, locks are cached and handed between processors under
+// hardware coherence (a local handoff closes no interval — the paper's
+// hybrid laziness).
+
+// lockMeta is the home-side chain tail for the Base path.
+type lockMeta struct {
+	lastOwner int
+}
+
+// remoteReq is a remote acquire waiting at the current owner.
+type remoteReq struct {
+	requester int
+	reqVC     []uint64
+}
+
+// lockReqMsg is the Base acquire/forward payload.
+type lockReqMsg struct {
+	id        int
+	requester int
+	reqVC     []uint64
+}
+
+// lockGrant is the Base/DW grant payload.
+type lockGrant struct {
+	id        int
+	vc        []uint64
+	intervals []*interval // Base only: piggybacked write notices
+}
+
+func (g *lockGrant) wireSize() int {
+	n := lockMsgOverhead + 8*len(g.vc)
+	for _, iv := range g.intervals {
+		n += iv.wireSize()
+	}
+	return n
+}
+
+// nodeLock is the node-level lock cache.
+type nodeLock struct {
+	id            int
+	cached        bool // this node is the lock's current owner
+	held          bool // some local processor holds it
+	requesting    bool // a remote acquire is outstanding
+	releasing     bool // a release (diff flush / NI handback) is in progress
+	localQ        sim.WaitQ
+	grantFlag     *sim.Flag
+	grantVC       []uint64
+	grantIvs      []*interval
+	pendingRemote *remoteReq
+}
+
+func (n *Node) lock(id int) *nodeLock {
+	lk := n.locks[id]
+	if lk == nil {
+		home := n.sys.lockHome(id)
+		lk = &nodeLock{id: id, cached: !n.sys.Feat.NIL && home == n.ID}
+		n.locks[id] = lk
+	}
+	return lk
+}
+
+// lockHome returns the static home node of a lock (must match vmmc's).
+func (s *System) lockHome(id int) int { return id % s.Cfg.Nodes }
+
+func (s *System) lockMetaFor(id int) *lockMeta {
+	m := s.locks[id]
+	if m == nil {
+		m = &lockMeta{lastOwner: s.lockHome(id)}
+		s.locks[id] = m
+	}
+	return m
+}
+
+// LockAcquire acquires lock id for a processor of this node, blocking
+// the calling process. All elapsed time is the paper's "Lock time".
+func (n *Node) LockAcquire(p *sim.Proc, id int) {
+	c := &n.sys.Cfg.Costs
+	p.Sleep(c.LocalLock)
+	lk := n.lock(id)
+	for {
+		if lk.held || lk.requesting || lk.releasing {
+			lk.localQ.Wait(p)
+			continue
+		}
+		if lk.cached {
+			// Local handoff or cached re-acquire: hardware coherence
+			// inside the node, no protocol action.
+			lk.held = true
+			return
+		}
+		break
+	}
+	// Remote acquire.
+	lk.requesting = true
+	n.Acct.LockOps++
+	if n.sys.Feat.NIL {
+		n.acquireNIL(p, lk)
+	} else {
+		n.acquireBase(p, lk)
+	}
+	lk.requesting = false
+	lk.cached = true
+	lk.held = true
+}
+
+func (n *Node) acquireNIL(p *sim.Proc, lk *nodeLock) {
+	payload := n.ep.NILockAcquire(p, lk.id)
+	if payload == nil {
+		return // first acquire ever: nothing to apply
+	}
+	grantVC := payload.([]uint64)
+	n.waitNotices(p, grantVC)
+	n.applyUpTo(p, grantVC)
+}
+
+func (n *Node) acquireBase(p *sim.Proc, lk *nodeLock) {
+	lk.grantFlag = &sim.Flag{}
+	req := &lockReqMsg{id: lk.id, requester: n.ID, reqVC: append([]uint64(nil), n.vc...)}
+	home := n.sys.lockHome(lk.id)
+	size := lockMsgOverhead + 8*len(req.reqVC)
+	if home == n.ID {
+		// The home is this node: the chain lookup still runs on the
+		// protocol process (it owns the directory), via the mailbox but
+		// without a network hop or interrupt cost.
+		n.mb.Send(localMsg("lock-req", req))
+	} else {
+		n.ep.SendInterrupt(p, home, size, "lock-req", req)
+	}
+	lk.grantFlag.Wait(p)
+
+	for _, iv := range lk.grantIvs {
+		n.recordInterval(iv)
+	}
+	if n.sys.Feat.DW {
+		n.waitNotices(p, lk.grantVC)
+	}
+	n.applyUpTo(p, lk.grantVC)
+	lk.grantFlag, lk.grantVC, lk.grantIvs = nil, nil, nil
+}
+
+// LockRelease releases lock id. A waiting local processor gets the lock
+// without closing the interval; otherwise, under DD/GeNIMA the interval
+// closes eagerly here, and under NIL the lock is handed back to the NI.
+func (n *Node) LockRelease(p *sim.Proc, id int) {
+	c := &n.sys.Cfg.Costs
+	p.Sleep(c.LocalLock)
+	lk := n.lock(id)
+	if !lk.held || !lk.cached {
+		panic(fmt.Sprintf("core: release of lock %d not held at node %d", id, n.ID))
+	}
+	lk.held = false
+	if lk.localQ.Len() > 0 {
+		// Hybrid laziness: the lock stays in the node, no diffs (under
+		// NIL the NI still thinks this host holds the lock).
+		lk.localQ.WakeOne()
+		return
+	}
+	// The release path below yields (diff computation, NI post); block
+	// local acquirers until the lock's fate is settled.
+	lk.releasing = true
+	if n.sys.Feat.DD {
+		// Direct diffs are computed at release points.
+		n.closeInterval(p)
+	}
+	if n.sys.Feat.NIL {
+		n.closeInterval(p) // ensure notices precede the NI release
+		lk.cached = false
+		n.ep.NILockRelease(p, id, append([]uint64(nil), n.vc...), 8*len(n.vc))
+		lk.releasing = false
+		lk.localQ.WakeAll() // re-check state (they will go remote)
+		return
+	}
+	if lk.pendingRemote != nil {
+		rr := lk.pendingRemote
+		lk.pendingRemote = nil
+		n.grantRemote(p, lk, rr)
+	}
+	lk.releasing = false
+	lk.localQ.WakeAll()
+	// Otherwise the last owner keeps the lock until someone asks.
+}
+
+// grantRemote transfers ownership to a remote requester: close the
+// interval (flushing diffs — "diffs are propagated to the home at the
+// next incoming acquire"), then send the grant.
+func (n *Node) grantRemote(p *sim.Proc, lk *nodeLock, rr *remoteReq) {
+	// Revoke the cache entry before yielding in closeInterval so no
+	// local processor grabs the lock while it is being shipped away.
+	lk.cached = false
+	n.closeInterval(p)
+	g := &lockGrant{id: lk.id, vc: append([]uint64(nil), n.vc...)}
+	if !n.sys.Feat.DW {
+		// Base: piggyback the write notices the requester lacks.
+		for src := 0; src < n.sys.Cfg.Nodes; src++ {
+			g.intervals = append(g.intervals, n.intervalsAfter(src, rr.reqVC[src], n.vc[src])...)
+		}
+	}
+	dst := n.sys.Nodes[rr.requester]
+	n.ep.Deposit(p, rr.requester, g.wireSize(), "lock-grant", nil, func() {
+		dst.receiveGrant(g)
+	})
+	lk.localQ.WakeAll() // local waiters must now go remote
+}
+
+// receiveGrant runs in engine context at the requester when the grant
+// message is deposited.
+func (n *Node) receiveGrant(g *lockGrant) {
+	lk := n.lock(g.id)
+	if lk.grantFlag == nil {
+		panic(fmt.Sprintf("core: unexpected lock grant %d at node %d", g.id, n.ID))
+	}
+	lk.grantVC = g.vc
+	lk.grantIvs = g.intervals
+	lk.grantFlag.Set()
+}
+
+// handleLockReq runs at the lock's home on the protocol process.
+func (n *Node) handleLockReq(p *sim.Proc, req *lockReqMsg) {
+	meta := n.sys.lockMetaFor(req.id)
+	prev := meta.lastOwner
+	meta.lastOwner = req.requester
+	rr := &remoteReq{requester: req.requester, reqVC: req.reqVC}
+	if prev == n.ID {
+		n.handleLockFwd(p, req.id, rr)
+		return
+	}
+	size := lockMsgOverhead + 8*len(req.reqVC)
+	n.ep.SendInterrupt(p, prev, size, "lock-fwd", &lockReqMsg{id: req.id, requester: req.requester, reqVC: req.reqVC})
+}
+
+// handleLockFwd runs at the previous owner on the protocol process.
+func (n *Node) handleLockFwd(p *sim.Proc, id int, rr *remoteReq) {
+	lk := n.lock(id)
+	if lk.cached && !lk.held {
+		n.grantRemote(p, lk, rr)
+		return
+	}
+	if lk.pendingRemote != nil {
+		panic(fmt.Sprintf("core: lock %d at node %d already has a pending remote requester", id, n.ID))
+	}
+	lk.pendingRemote = rr
+}

@@ -1,0 +1,276 @@
+// Package memory implements the paged shared address space the SVM
+// protocols manage: page/home layout, per-node page copies, twin
+// creation, word-granularity diff computation and application, and the
+// mprotect cost model (with the call-coalescing optimization the paper
+// describes in §3.1).
+package memory
+
+import (
+	"fmt"
+	"sort"
+
+	"genima/internal/sim"
+)
+
+// HomePolicy chooses the home node for each shared page.
+type HomePolicy int
+
+// Home-assignment policies.
+const (
+	// RoundRobin interleaves pages across nodes (the common default).
+	RoundRobin HomePolicy = iota
+	// Blocked gives each node a contiguous chunk of the allocation,
+	// matching block-partitioned applications (FFT, LU, Ocean rows).
+	Blocked
+)
+
+// Region is a contiguous allocation in the shared space, addressed by
+// byte offsets from the start of the space.
+type Region struct {
+	Name string
+	Base int // byte offset, page-aligned
+	Size int
+}
+
+// End returns the first byte offset past the region.
+func (r Region) End() int { return r.Base + r.Size }
+
+// Space is the shared virtual address space: the page/home map plus the
+// canonical home copy of every page. Node-local copies live in NodeMem.
+type Space struct {
+	PageSize int
+	WordSize int
+
+	regions []Region
+	next    int // next free byte offset (page aligned)
+
+	homes []int    // page -> home node
+	home  [][]byte // page -> home copy (the authoritative data)
+
+	nodes int
+}
+
+// NewSpace creates an empty space for a cluster of n nodes.
+func NewSpace(pageSize, wordSize, nodes int) *Space {
+	if pageSize <= 0 || wordSize <= 0 || pageSize%wordSize != 0 {
+		panic(fmt.Sprintf("memory: bad page/word size %d/%d", pageSize, wordSize))
+	}
+	return &Space{PageSize: pageSize, WordSize: wordSize, nodes: nodes}
+}
+
+// NPages returns the number of allocated pages.
+func (s *Space) NPages() int { return len(s.homes) }
+
+// Nodes returns the cluster size the space was built for.
+func (s *Space) Nodes() int { return s.nodes }
+
+// Regions returns all allocations.
+func (s *Space) Regions() []Region { return s.regions }
+
+// Alloc reserves size bytes (rounded up to whole pages) and assigns
+// homes under the given policy.
+func (s *Space) Alloc(name string, size int, policy HomePolicy) Region {
+	if size <= 0 {
+		panic("memory: Alloc size must be positive")
+	}
+	pages := (size + s.PageSize - 1) / s.PageSize
+	r := Region{Name: name, Base: s.next, Size: pages * s.PageSize}
+	s.next += r.Size
+	s.regions = append(s.regions, r)
+	for i := 0; i < pages; i++ {
+		var h int
+		switch policy {
+		case Blocked:
+			h = i * s.nodes / pages
+		default:
+			h = (len(s.homes)) % s.nodes
+		}
+		s.homes = append(s.homes, h)
+		s.home = append(s.home, make([]byte, s.PageSize))
+	}
+	return r
+}
+
+// Home returns the home node of a page.
+func (s *Space) Home(page int) int { return s.homes[page] }
+
+// HomeCopy returns the authoritative home copy of a page. Only the home
+// node's protocol (or the hardware-DSM model) may mutate it.
+func (s *Space) HomeCopy(page int) []byte { return s.home[page] }
+
+// PageOf returns the page containing byte offset addr.
+func (s *Space) PageOf(addr int) int { return addr / s.PageSize }
+
+// PageRange returns the inclusive page span [first,last] covering
+// [addr, addr+size).
+func (s *Space) PageRange(addr, size int) (first, last int) {
+	if size <= 0 {
+		size = 1
+	}
+	return addr / s.PageSize, (addr + size - 1) / s.PageSize
+}
+
+// NodeMem holds one node's local copies and twins.
+type NodeMem struct {
+	space *Space
+	pages [][]byte
+	twins [][]byte
+}
+
+// NewNodeMem creates node-local storage for the space. All ten SPLASH-2
+// style workloads allocate before parallel work begins, so node memories
+// are sized after allocation.
+func NewNodeMem(s *Space) *NodeMem {
+	return &NodeMem{
+		space: s,
+		pages: make([][]byte, s.NPages()),
+		twins: make([][]byte, s.NPages()),
+	}
+}
+
+// Page returns the node's copy of a page, allocating it zeroed on first
+// use.
+func (m *NodeMem) Page(page int) []byte {
+	if m.pages[page] == nil {
+		m.pages[page] = make([]byte, m.space.PageSize)
+	}
+	return m.pages[page]
+}
+
+// HasCopy reports whether the node has materialized a copy of page.
+func (m *NodeMem) HasCopy(page int) bool { return m.pages[page] != nil }
+
+// InstallCopy replaces the node's copy of a page with data (a fetched
+// page); the slice is copied.
+func (m *NodeMem) InstallCopy(page int, data []byte) {
+	dst := m.Page(page)
+	copy(dst, data)
+}
+
+// MakeTwin snapshots the node's current copy of page so later
+// modifications can be diffed. Idempotent within a twin lifetime.
+func (m *NodeMem) MakeTwin(page int) {
+	if m.twins[page] != nil {
+		return
+	}
+	src := m.Page(page)
+	tw := make([]byte, len(src))
+	copy(tw, src)
+	m.twins[page] = tw
+}
+
+// HasTwin reports whether a twin exists for page.
+func (m *NodeMem) HasTwin(page int) bool { return m.twins[page] != nil }
+
+// DropTwin discards the twin after diffing.
+func (m *NodeMem) DropTwin(page int) { m.twins[page] = nil }
+
+// Diff compares the node's copy of page against its twin and returns the
+// contiguous runs of modified words. It panics if no twin exists.
+func (m *NodeMem) Diff(page int) []Run {
+	tw := m.twins[page]
+	if tw == nil {
+		panic(fmt.Sprintf("memory: Diff of page %d without twin", page))
+	}
+	return DiffWords(m.Page(page), tw, m.space.WordSize)
+}
+
+// Run is one contiguous span of modified bytes within a page.
+type Run struct {
+	Off  int
+	Data []byte
+}
+
+// DiffWords compares cur against old at word granularity and returns the
+// modified runs (data aliases cur; callers snapshot if needed).
+func DiffWords(cur, old []byte, wordSize int) []Run {
+	if len(cur) != len(old) {
+		panic("memory: DiffWords length mismatch")
+	}
+	var runs []Run
+	n := len(cur)
+	for off := 0; off < n; {
+		// Find next differing word.
+		for off < n && equalWord(cur, old, off, wordSize) {
+			off += wordSize
+		}
+		if off >= n {
+			break
+		}
+		start := off
+		for off < n && !equalWord(cur, old, off, wordSize) {
+			off += wordSize
+		}
+		runs = append(runs, Run{Off: start, Data: cur[start:off]})
+	}
+	return runs
+}
+
+func equalWord(a, b []byte, off, w int) bool {
+	end := off + w
+	if end > len(a) {
+		end = len(a)
+	}
+	for i := off; i < end; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyRuns writes the runs into dst (a page copy).
+func ApplyRuns(dst []byte, runs []Run) {
+	for _, r := range runs {
+		copy(dst[r.Off:], r.Data)
+	}
+}
+
+// RunsBytes returns the total data bytes across runs.
+func RunsBytes(runs []Run) int {
+	n := 0
+	for _, r := range runs {
+		n += len(r.Data)
+	}
+	return n
+}
+
+// CloneRuns deep-copies runs so they survive further page mutation.
+func CloneRuns(runs []Run) []Run {
+	out := make([]Run, len(runs))
+	for i, r := range runs {
+		d := make([]byte, len(r.Data))
+		copy(d, r.Data)
+		out[i] = Run{Off: r.Off, Data: d}
+	}
+	return out
+}
+
+// MprotectCost returns the virtual-time cost and the number of mprotect
+// system calls needed to change protection on the given pages, after
+// coalescing contiguous page runs into single calls (the optimization
+// described in §3.1). The pages slice is sorted in place.
+func MprotectCost(pages []int, base, perPage sim.Time) (cost sim.Time, calls int) {
+	if len(pages) == 0 {
+		return 0, 0
+	}
+	sort.Ints(pages)
+	runLen := 1
+	flush := func() {
+		cost += base + perPage*sim.Time(runLen-1)
+		calls++
+	}
+	for i := 1; i < len(pages); i++ {
+		if pages[i] == pages[i-1] {
+			continue // duplicate page
+		}
+		if pages[i] == pages[i-1]+1 {
+			runLen++
+			continue
+		}
+		flush()
+		runLen = 1
+	}
+	flush()
+	return cost, calls
+}

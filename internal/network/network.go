@@ -1,0 +1,121 @@
+// Package network models a Myrinet-like system-area network: full-duplex
+// point-to-point links connecting each host's network interface to a
+// crossbar switch. Links and the switch are FIFO resources, so per
+// source-destination pair delivery order is preserved — the only ordering
+// guarantee VMMC (and the GeNIMA protocols) require.
+package network
+
+import (
+	"genima/internal/sim"
+	"genima/internal/topo"
+)
+
+// Link is a unidirectional wire with a fixed per-packet propagation delay
+// and a per-byte serialization time (160 MB/s in the paper's Myrinet).
+type Link struct {
+	res     *sim.Resource
+	fixed   sim.Time
+	perByte float64
+}
+
+// NewLink creates a link with the given fixed latency and ns/byte rate.
+func NewLink(eng *sim.Engine, name string, fixed sim.Time, perByte float64) *Link {
+	return &Link{res: sim.NewResource(eng, name), fixed: fixed, perByte: perByte}
+}
+
+// ServiceTime returns the uncontended time to carry n bytes.
+func (l *Link) ServiceTime(n int) sim.Time {
+	return l.fixed + sim.Time(float64(n)*l.perByte)
+}
+
+// Transfer enqueues an n-byte packet; fn runs when the last byte is on
+// the far side.
+func (l *Link) Transfer(n int, fn func(start, end sim.Time)) {
+	l.res.Enqueue(l.ServiceTime(n), fn)
+}
+
+// Stats exposes the underlying resource for utilization reporting.
+func (l *Link) Stats() *sim.Resource { return l.res }
+
+// Switch is a crossbar that routes packets between links with a fixed
+// per-packet routing delay. The paper's testbed is a single 8-way switch;
+// we model its arbitration as one FIFO resource, which slightly
+// pessimizes concurrent disjoint routes but preserves ordering.
+type Switch struct {
+	res   *sim.Resource
+	fixed sim.Time
+}
+
+// NewSwitch creates the crossbar.
+func NewSwitch(eng *sim.Engine, fixed sim.Time) *Switch {
+	return &Switch{res: sim.NewResource(eng, "switch"), fixed: fixed}
+}
+
+// Route enqueues a routing decision; fn runs when the head flit exits.
+func (s *Switch) Route(fn func(start, end sim.Time)) {
+	s.res.Enqueue(s.fixed, fn)
+}
+
+// ServiceTime returns the uncontended routing delay.
+func (s *Switch) ServiceTime() sim.Time { return s.fixed }
+
+// Stats exposes the underlying resource.
+func (s *Switch) Stats() *sim.Resource { return s.res }
+
+// Fabric wires N hosts to one switch with an in- and out-link each.
+type Fabric struct {
+	Switch *Switch
+	Out    []*Link // host -> switch
+	In     []*Link // switch -> host
+}
+
+// NewFabric builds the fabric for cfg.Nodes hosts.
+func NewFabric(eng *sim.Engine, cfg *topo.Config) *Fabric {
+	f := &Fabric{
+		Switch: NewSwitch(eng, cfg.Costs.SwitchFixed),
+		Out:    make([]*Link, cfg.Nodes),
+		In:     make([]*Link, cfg.Nodes),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		f.Out[i] = NewLink(eng, "link-out", cfg.Costs.LinkFixed, cfg.Costs.LinkPerByte)
+		f.In[i] = NewLink(eng, "link-in", cfg.Costs.LinkFixed, cfg.Costs.LinkPerByte)
+	}
+	return f
+}
+
+// UncontendedNet returns the no-queueing network time for n bytes from
+// any host to any other: out-link + switch + in-link.
+func (f *Fabric) UncontendedNet(n int) sim.Time {
+	return f.Out[0].ServiceTime(n) + f.Switch.ServiceTime() + f.In[0].ServiceTime(n)
+}
+
+// Send moves an n-byte packet from src to dst through the three fabric
+// stages; fn runs when the last byte reaches dst's NI, with inject being
+// the time the packet finished entering the network (end of the out-link
+// stage, the paper's "LANai insertion" boundary).
+func (f *Fabric) Send(src, dst, n int, fn func(inject, arrive sim.Time)) {
+	f.Out[src].Transfer(n, func(_, outEnd sim.Time) {
+		f.Switch.Route(func(_, _ sim.Time) {
+			f.In[dst].Transfer(n, func(_, inEnd sim.Time) {
+				fn(outEnd, inEnd)
+			})
+		})
+	})
+}
+
+// Broadcast moves one n-byte packet from src through the out-link and
+// switch once, then replicates it onto every destination's in-link (the
+// NI-broadcast extension of the paper's §5). fn runs once per
+// destination.
+func (f *Fabric) Broadcast(src int, dsts []int, n int, fn func(dst int, inject, arrive sim.Time)) {
+	f.Out[src].Transfer(n, func(_, outEnd sim.Time) {
+		f.Switch.Route(func(_, _ sim.Time) {
+			for _, dst := range dsts {
+				dst := dst
+				f.In[dst].Transfer(n, func(_, inEnd sim.Time) {
+					fn(dst, outEnd, inEnd)
+				})
+			}
+		})
+	})
+}

@@ -1,0 +1,305 @@
+// Package nic models the programmable network interface (the paper's
+// 33 MHz LANai on Myrinet): a bounded post queue fed by the host, DMA
+// engines sharing the node's PCI bus, a firmware processor that handles
+// both outgoing and incoming packets, and — for the GeNIMA extensions —
+// firmware-level services that handle incoming packets entirely in the
+// NI without involving a host processor.
+//
+// Every packet records timestamps at the four stage boundaries of §3.1
+// of the paper (SourceLatency, LANaiLatency, NetLatency, DestLatency);
+// the firmware performance monitor accumulates actual versus uncontended
+// time per stage and per message-size class, which regenerates Tables 3
+// and 4.
+package nic
+
+import (
+	"genima/internal/network"
+	"genima/internal/sim"
+	"genima/internal/topo"
+)
+
+// SmallMessageMax is the size boundary between the monitor's "small" and
+// "large" message classes (≤ 256 bytes in the paper).
+const SmallMessageMax = 256
+
+// Class is a monitor message-size class.
+type Class int
+
+// Message-size classes.
+const (
+	Small Class = iota
+	Large
+	numClasses
+)
+
+// ClassOf returns the class for a packet size.
+func ClassOf(size int) Class {
+	if size <= SmallMessageMax {
+		return Small
+	}
+	return Large
+}
+
+// String names the class.
+func (c Class) String() string {
+	if c == Small {
+		return "small"
+	}
+	return "large"
+}
+
+// Stage identifies one of the four measured pipeline stages.
+type Stage int
+
+// Pipeline stages, in path order.
+const (
+	StageSource Stage = iota // post-queue appearance -> packet data DMA'd into NI
+	StageLANai               // end of Source -> packet inserted into network
+	StageNet                 // end of Source -> last word at receiving NI
+	StageDest                // last word at receiving NI -> delivered to host memory
+	NumStages
+)
+
+var stageNames = [...]string{"SourceLat", "LANaiLat", "NetLat", "DestLat"}
+
+// String names the stage.
+func (s Stage) String() string { return stageNames[s] }
+
+// Packet is one network packet (≤ MaxPacket bytes of simulated payload).
+type Packet struct {
+	Src, Dst int
+	Size     int
+	Kind     string // diagnostic label ("page-req", "diff", "lock-grant", ...)
+	Payload  any
+
+	// FwHandler, when non-nil, makes the destination NI service the
+	// packet entirely in firmware (remote fetch, NI lock operations):
+	// no host DMA, no interrupt. FwService is extra firmware occupancy
+	// charged for the service.
+	FwHandler func(dst *NI, pkt *Packet)
+	FwService sim.Time
+	// FwSendExtra is additional firmware occupancy on the SENDING NI
+	// (e.g. scatter-gather packing from host memory).
+	FwSendExtra sim.Time
+
+	// OnDeliver runs when the packet's data has been deposited into
+	// destination host memory (remote-deposit semantics). Ignored for
+	// firmware-handled packets.
+	OnDeliver func()
+
+	noSrcDMA bool // firmware-originated packet whose data is already in NI memory
+
+	tPost, tSrc, tInject, tArrive, tDone sim.Time
+}
+
+// NI is one node's network interface.
+type NI struct {
+	ID  int
+	eng *sim.Engine
+	cfg *topo.Config
+
+	fabric *network.Fabric
+	peers  []*NI
+
+	PostQueue *sim.Gate     // bounded post queue (host stalls when full)
+	PCI       *sim.Resource // the node's I/O bus: both send and receive DMA
+	Firmware  *sim.Resource // the NI processor (one, shared by both directions)
+
+	mon *Monitor
+}
+
+// System is the set of NIs plus the shared fabric and monitor.
+type System struct {
+	NIs     []*NI
+	Fabric  *network.Fabric
+	Monitor *Monitor
+}
+
+// NewSystem builds one NI per node on a fresh fabric.
+func NewSystem(eng *sim.Engine, cfg *topo.Config) *System {
+	fab := network.NewFabric(eng, cfg)
+	mon := &Monitor{}
+	s := &System{Fabric: fab, Monitor: mon}
+	s.NIs = make([]*NI, cfg.Nodes)
+	for i := range s.NIs {
+		s.NIs[i] = &NI{
+			ID:        i,
+			eng:       eng,
+			cfg:       cfg,
+			fabric:    fab,
+			PostQueue: sim.NewGate(cfg.PostQueueDepth),
+			PCI:       sim.NewResource(eng, "pci"),
+			Firmware:  sim.NewResource(eng, "lanai"),
+			mon:       mon,
+		}
+	}
+	for _, ni := range s.NIs {
+		ni.peers = s.NIs
+	}
+	return s
+}
+
+func (ni *NI) pciService(size int) sim.Time {
+	return ni.cfg.Costs.PCIFixed + sim.Time(float64(size)*ni.cfg.Costs.PCIPerByte)
+}
+
+func (ni *NI) fwSendService(size int) sim.Time {
+	per := ni.cfg.Costs.NIPerPacket / sim.Time(ni.cfg.SendPipelining)
+	return per + sim.Time(float64(size)*ni.cfg.Costs.NIPerByte)
+}
+
+func (ni *NI) fwRecvService(size int) sim.Time {
+	return ni.cfg.Costs.NIPerPacket + sim.Time(float64(size)*ni.cfg.Costs.NIPerByte)
+}
+
+// Post submits a packet from host process p: it charges the asynchronous
+// post overhead to the caller and blocks only if the post queue is full
+// (the paper's only host-side blocking condition for async sends).
+func (ni *NI) Post(p *sim.Proc, pkt *Packet) {
+	p.Sleep(ni.cfg.Costs.PostOverhead)
+	ni.PostQueue.Acquire(p)
+	ni.launch(pkt)
+}
+
+// PostFromEvent submits a packet from engine context (e.g. a protocol
+// handler modeled as an event). It cannot block; if the post queue is
+// full the packet is still accepted (queue-depth accounting via Gate is
+// skipped), which callers use only for low-rate control traffic.
+func (ni *NI) PostFromEvent(pkt *Packet) {
+	if !ni.PostQueue.TryAcquire() {
+		// Overflow is tolerated for event-context posts; the packet
+		// still pays all pipeline stage costs.
+		pkt.tPost = ni.eng.Now()
+		ni.sendStages(pkt, false)
+		return
+	}
+	ni.launch(pkt)
+}
+
+// FirmwareSend transmits a firmware-originated packet (fetch reply, lock
+// forward/grant). If dataFromHost is true the packet's payload must first
+// be DMA'd from host memory over PCI (e.g. a fetched page); otherwise the
+// data already lives in NI memory (lock state) and the source-DMA stage
+// is skipped.
+func (ni *NI) FirmwareSend(pkt *Packet, dataFromHost bool) {
+	pkt.tPost = ni.eng.Now()
+	pkt.noSrcDMA = !dataFromHost
+	if dataFromHost {
+		ni.PCI.Enqueue(ni.pciService(pkt.Size), func(_, end sim.Time) {
+			pkt.tSrc = end
+			ni.fwAndFabric(pkt)
+		})
+		return
+	}
+	pkt.tSrc = ni.eng.Now()
+	ni.fwAndFabric(pkt)
+}
+
+// launch runs the full host-originated send pipeline; the post-queue slot
+// is released when the source DMA completes (the request has been
+// consumed by the NI).
+func (ni *NI) launch(pkt *Packet) {
+	pkt.tPost = ni.eng.Now()
+	ni.sendStages(pkt, true)
+}
+
+func (ni *NI) sendStages(pkt *Packet, holdsSlot bool) {
+	ni.PCI.Enqueue(ni.pciService(pkt.Size), func(_, end sim.Time) {
+		if holdsSlot {
+			ni.PostQueue.Release()
+		}
+		pkt.tSrc = end
+		ni.fwAndFabric(pkt)
+	})
+}
+
+func (ni *NI) fwAndFabric(pkt *Packet) {
+	ni.Firmware.Enqueue(ni.fwSendService(pkt.Size)+pkt.FwSendExtra, func(_, _ sim.Time) {
+		ni.fabric.Send(pkt.Src, pkt.Dst, pkt.Size, func(inject, arrive sim.Time) {
+			pkt.tInject = inject
+			pkt.tArrive = arrive
+			ni.peers[pkt.Dst].receive(pkt)
+		})
+	})
+}
+
+// PostBroadcast submits one packet that the fabric replicates to every
+// node in dsts (the NI-broadcast extension, paper §5). The host pays
+// one post; each destination receives its own copy of the packet, with
+// onDeliver(dst) running at that copy's delivery. Broadcast packets are
+// plain deposits (no firmware handler).
+func (ni *NI) PostBroadcast(p *sim.Proc, tmpl *Packet, dsts []int, onDeliver func(dst int)) {
+	p.Sleep(ni.cfg.Costs.PostOverhead)
+	ni.PostQueue.Acquire(p)
+	tmpl.tPost = ni.eng.Now()
+	ni.PCI.Enqueue(ni.pciService(tmpl.Size), func(_, end sim.Time) {
+		ni.PostQueue.Release()
+		ni.Firmware.Enqueue(ni.fwSendService(tmpl.Size), func(_, _ sim.Time) {
+			ni.fabric.Broadcast(tmpl.Src, dsts, tmpl.Size, func(dst int, inject, arrive sim.Time) {
+				cp := *tmpl
+				cp.Dst = dst
+				cp.tSrc = end
+				cp.tInject = inject
+				cp.tArrive = arrive
+				cp.OnDeliver = nil
+				if onDeliver != nil {
+					d := dst
+					cp.OnDeliver = func() { onDeliver(d) }
+				}
+				ni.peers[dst].receive(&cp)
+			})
+		})
+	})
+}
+
+// receive runs the destination-side pipeline: firmware processing, then
+// either a firmware service (GeNIMA extensions) or a host-memory DMA
+// deposit.
+func (ni *NI) receive(pkt *Packet) {
+	svc := ni.fwRecvService(pkt.Size) + pkt.FwService
+	ni.Firmware.Enqueue(svc, func(_, end sim.Time) {
+		if pkt.FwHandler != nil {
+			pkt.tDone = end
+			ni.mon.record(ni.cfg, ni.fabric, pkt)
+			pkt.FwHandler(ni, pkt)
+			return
+		}
+		ni.PCI.Enqueue(ni.pciService(pkt.Size), func(_, dmaEnd sim.Time) {
+			pkt.tDone = dmaEnd
+			ni.mon.record(ni.cfg, ni.fabric, pkt)
+			if pkt.OnDeliver != nil {
+				pkt.OnDeliver()
+			}
+		})
+	})
+}
+
+// DepositLocal models the NI DMA-ing size bytes into its own host's
+// memory (e.g. a lock grant handed to a locally spinning acquirer); fn
+// runs when the DMA completes.
+func (ni *NI) DepositLocal(size int, fn func()) {
+	ni.PCI.Enqueue(ni.pciService(size), func(_, _ sim.Time) {
+		if fn != nil {
+			fn()
+		}
+	})
+}
+
+// FirmwareRun charges service time on this NI's firmware processor and
+// runs fn when it completes (local firmware work with no packet).
+func (ni *NI) FirmwareRun(service sim.Time, fn func()) {
+	ni.Firmware.Enqueue(service, func(_, _ sim.Time) {
+		if fn != nil {
+			fn()
+		}
+	})
+}
+
+// UncontendedOneWay returns the zero-load host-to-host-memory latency for
+// an n-byte packet (excluding the 2 µs post overhead), used by tests to
+// check calibration against the paper's 18 µs figure.
+func (s *System) UncontendedOneWay(n int) sim.Time {
+	ni := s.NIs[0]
+	return ni.pciService(n) + ni.fwSendService(n) + s.Fabric.UncontendedNet(n) +
+		ni.fwRecvService(n) + ni.pciService(n)
+}

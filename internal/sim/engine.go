@@ -1,0 +1,204 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock (int64 nanoseconds) by executing
+// events in timestamp order. Two styles of simulated activity coexist:
+//
+//   - Plain events: closures scheduled with At/After, executed inline by
+//     the engine loop. Used for message deliveries, DMA completions, etc.
+//   - Processes: goroutines that model sequential agents (simulated
+//     processors, protocol handlers). Exactly one goroutine — either the
+//     engine loop or a single process — runs at any instant; control is
+//     handed over synchronously, so simulations are deterministic and
+//     race-free without locks.
+//
+// Ties between events at the same timestamp are broken by scheduling
+// order, which makes runs bit-reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time = int64
+
+// Common durations in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Micro returns d microseconds as a Time duration.
+func Micro(d float64) Time { return Time(d * float64(Microsecond)) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// park receives control back from a running process.
+	park chan struct{}
+
+	procs   []*Proc
+	running int // number of live (not finished) processes
+	stopped bool
+
+	nEvents uint64
+}
+
+// NewEngine returns an empty engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{park: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Events returns the number of events executed so far.
+func (e *Engine) Events() uint64 { return e.nEvents }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it would make the clock non-monotonic.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	e.events.pushEvent(event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the event queue is empty, Stop is called, or
+// the optional deadline (>0) is reached. It returns the final virtual time.
+func (e *Engine) Run(deadline Time) Time {
+	for !e.stopped && len(e.events) > 0 {
+		if deadline > 0 && e.events.peek().at > deadline {
+			e.now = deadline
+			break
+		}
+		ev := e.events.popEvent()
+		e.now = ev.at
+		e.nEvents++
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntilQuiet is Run with no deadline.
+func (e *Engine) RunUntilQuiet() Time { return e.Run(0) }
+
+// Proc is a simulated sequential agent backed by a goroutine. All Proc
+// methods that block (Sleep, WaitOn, ...) must be called from the process's
+// own goroutine.
+type Proc struct {
+	eng  *Engine
+	name string
+	wake chan struct{}
+	done bool
+}
+
+// Go spawns a new process running body. The process starts at the current
+// virtual time (as a scheduled event, so Go may be called before Run).
+func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, wake: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	e.running++
+	go func() {
+		<-p.wake // wait for first dispatch
+		body(p)
+		p.done = true
+		e.running--
+		e.park <- struct{}{} // return control to the engine loop
+	}()
+	e.After(0, func() { p.dispatch() })
+	return p
+}
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// dispatch transfers control from the engine loop to the process and
+// waits for it to yield back. It must run in engine (event) context.
+func (p *Proc) dispatch() {
+	if p.done {
+		panic("sim: dispatch of finished process " + p.name)
+	}
+	p.wake <- struct{}{}
+	<-p.eng.park
+}
+
+// yield returns control to the engine loop and blocks until the next
+// dispatch. It must run in process context.
+func (p *Proc) yield() {
+	p.eng.park <- struct{}{}
+	<-p.wake
+}
+
+// Sleep suspends the process for d nanoseconds of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	if d == 0 {
+		return
+	}
+	p.eng.After(d, func() { p.dispatch() })
+	p.yield()
+}
+
+// SleepUntil suspends the process until virtual time t (no-op if t <= now).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.eng.now {
+		return
+	}
+	p.Sleep(t - p.eng.now)
+}
+
+// Park suspends the process indefinitely; something else must hold a
+// reference and call Unpark (in engine/event or another process's context).
+func (p *Proc) Park() { p.yield() }
+
+// Unpark resumes a parked process at the current virtual time. It must be
+// called from engine (event) context — e.g. inside an event callback — or
+// via WaitQ/Mailbox which handle this correctly.
+func (p *Proc) Unpark() {
+	p.eng.After(0, func() { p.dispatch() })
+}

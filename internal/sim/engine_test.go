@@ -1,0 +1,456 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	end := e.RunUntilQuiet()
+	if end != 30 {
+		t.Fatalf("end time = %d, want 30", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.RunUntilQuiet()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie-break order = %v", got)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.RunUntilQuiet()
+}
+
+func TestDeadline(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(1000, func() { fired = true })
+	end := e.Run(500)
+	if fired {
+		t.Error("event beyond deadline fired")
+	}
+	if end != 500 {
+		t.Errorf("end = %d, want 500", end)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var depth int
+	var ping func()
+	ping = func() {
+		depth++
+		if depth < 100 {
+			e.After(7, ping)
+		}
+	}
+	e.After(7, ping)
+	end := e.RunUntilQuiet()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if end != 700 {
+		t.Fatalf("end = %d, want 700", end)
+	}
+}
+
+func TestProcessSleep(t *testing.T) {
+	e := NewEngine()
+	var trace []Time
+	e.Go("sleeper", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(10)
+			trace = append(trace, p.Now())
+		}
+	})
+	e.RunUntilQuiet()
+	for i, at := range trace {
+		if want := Time(10 * (i + 1)); at != want {
+			t.Fatalf("wakeup %d at %d, want %d", i, at, want)
+		}
+	}
+}
+
+func TestTwoProcessesInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var log []string
+		e.Go("a", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(10)
+				log = append(log, "a")
+			}
+		})
+		e.Go("b", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(10)
+				log = append(log, "b")
+			}
+		})
+		e.RunUntilQuiet()
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 20; trial++ {
+		again := run()
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("nondeterministic interleaving: %v vs %v", first, again)
+			}
+		}
+	}
+}
+
+func TestParkUnpark(t *testing.T) {
+	e := NewEngine()
+	var woke Time
+	var target *Proc
+	target = e.Go("sleeper", func(p *Proc) {
+		p.Park()
+		woke = p.Now()
+	})
+	e.At(123, func() { target.Unpark() })
+	e.RunUntilQuiet()
+	if woke != 123 {
+		t.Fatalf("woke at %d, want 123", woke)
+	}
+}
+
+func TestWaitQFIFO(t *testing.T) {
+	e := NewEngine()
+	var q WaitQ
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			p.Sleep(Time(i + 1)) // stagger arrival: 1,2,3,4
+			q.Wait(p)
+			order = append(order, i)
+		})
+	}
+	e.At(100, func() {
+		for q.WakeOne() {
+		}
+	})
+	e.RunUntilQuiet()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("wake order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestFlag(t *testing.T) {
+	e := NewEngine()
+	var f Flag
+	var at Time
+	e.Go("waiter", func(p *Proc) {
+		f.Wait(p)
+		at = p.Now()
+		// A second wait after set returns immediately.
+		f.Wait(p)
+		if p.Now() != at {
+			t.Error("wait on set flag blocked")
+		}
+	})
+	e.At(55, func() { f.Set() })
+	e.RunUntilQuiet()
+	if at != 55 {
+		t.Fatalf("flag wait released at %d, want 55", at)
+	}
+	if !f.IsSet() {
+		t.Error("flag not set")
+	}
+}
+
+func TestCounterThresholds(t *testing.T) {
+	e := NewEngine()
+	var c Counter
+	var releasedAt [3]Time
+	for i, target := range []uint64{1, 3, 5} {
+		i, target := i, target
+		e.Go("w", func(p *Proc) {
+			c.WaitFor(p, target)
+			releasedAt[i] = p.Now()
+		})
+	}
+	for i := 1; i <= 5; i++ {
+		at := Time(i * 10)
+		e.At(at, func() { c.Add(1) })
+	}
+	e.RunUntilQuiet()
+	want := [3]Time{10, 30, 50}
+	if releasedAt != want {
+		t.Fatalf("released at %v, want %v", releasedAt, want)
+	}
+}
+
+func TestMailbox(t *testing.T) {
+	e := NewEngine()
+	var mb Mailbox[int]
+	var got []int
+	e.Go("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, mb.Recv(p))
+		}
+	})
+	e.At(10, func() { mb.Send(1) })
+	e.At(20, func() { mb.Send(2); mb.Send(3) })
+	e.RunUntilQuiet()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "pci")
+	var ends []Time
+	e.At(0, func() {
+		r.Enqueue(100, func(s, en Time) { ends = append(ends, en) })
+		r.Enqueue(50, func(s, en Time) { ends = append(ends, en) })
+	})
+	e.At(10, func() {
+		r.Enqueue(10, func(s, en Time) { ends = append(ends, en) })
+	})
+	e.RunUntilQuiet()
+	want := []Time{100, 150, 160}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+	if r.Jobs != 3 || r.BusyTime != 160 {
+		t.Fatalf("jobs=%d busy=%d", r.Jobs, r.BusyTime)
+	}
+	// Job 2 waited 100, job 3 waited 140.
+	if r.WaitTime != 240 {
+		t.Fatalf("wait=%d, want 240", r.WaitTime)
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "link")
+	var starts []Time
+	e.At(0, func() { r.Enqueue(10, func(s, _ Time) { starts = append(starts, s) }) })
+	e.At(100, func() { r.Enqueue(10, func(s, _ Time) { starts = append(starts, s) }) })
+	e.RunUntilQuiet()
+	if starts[0] != 0 || starts[1] != 100 {
+		t.Fatalf("starts = %v; idle resource must start immediately", starts)
+	}
+}
+
+func TestResourceUseReportsWait(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "bus")
+	var w1, w2 Time
+	e.Go("a", func(p *Proc) { w1 = r.Use(p, 100) })
+	e.Go("b", func(p *Proc) { w2 = r.Use(p, 100) })
+	e.RunUntilQuiet()
+	if w1 != 0 || w2 != 100 {
+		t.Fatalf("waits = %d,%d; want 0,100", w1, w2)
+	}
+}
+
+func TestGateBlocksAtDepth(t *testing.T) {
+	e := NewEngine()
+	g := NewGate(2)
+	var acquired []Time
+	for i := 0; i < 4; i++ {
+		e.Go("p", func(p *Proc) {
+			g.Acquire(p)
+			acquired = append(acquired, p.Now())
+			p.Sleep(100)
+			g.Release()
+		})
+	}
+	e.RunUntilQuiet()
+	want := []Time{0, 0, 100, 100}
+	for i := range want {
+		if acquired[i] != want[i] {
+			t.Fatalf("acquire times = %v, want %v", acquired, want)
+		}
+	}
+	if g.Blocked != 2 {
+		t.Fatalf("blocked = %d, want 2", g.Blocked)
+	}
+}
+
+func TestGateTryAcquire(t *testing.T) {
+	g := NewGate(1)
+	if !g.TryAcquire() {
+		t.Fatal("first TryAcquire failed")
+	}
+	if g.TryAcquire() {
+		t.Fatal("second TryAcquire succeeded at depth 1")
+	}
+	g.Release()
+	if !g.TryAcquire() {
+		t.Fatal("TryAcquire after Release failed")
+	}
+}
+
+// Property: for any set of event times, the engine executes them in
+// nondecreasing time order and ends at the max time.
+func TestEventOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var seen []Time
+		var maxT Time
+		for _, d := range delays {
+			at := Time(d)
+			if at > maxT {
+				maxT = at
+			}
+			e.At(at, func() { seen = append(seen, e.Now()) })
+		}
+		end := e.RunUntilQuiet()
+		if end != maxT {
+			return false
+		}
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a FIFO resource never starts a job before the previous one
+// ends, and actual time >= uncontended time.
+func TestResourceFIFOProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		r := NewResource(e, "x")
+		type span struct{ s, e Time }
+		var spans []span
+		jobs := int(n%20) + 1
+		for i := 0; i < jobs; i++ {
+			at := Time(rng.Intn(1000))
+			svc := Time(rng.Intn(100) + 1)
+			e.At(at, func() {
+				r.Enqueue(svc, func(s, en Time) { spans = append(spans, span{s, en}) })
+			})
+		}
+		e.RunUntilQuiet()
+		for i := 1; i < len(spans); i++ {
+			if spans[i].s < spans[i-1].e {
+				return false
+			}
+		}
+		return len(spans) == jobs
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMicroConversion(t *testing.T) {
+	if Micro(18) != 18000 {
+		t.Fatalf("Micro(18) = %d", Micro(18))
+	}
+	if Micro(0.5) != 500 {
+		t.Fatalf("Micro(0.5) = %d", Micro(0.5))
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(10, func() { ran++; e.Stop() })
+	e.At(20, func() { ran++ })
+	e.RunUntilQuiet()
+	if ran != 1 {
+		t.Fatalf("ran %d events after Stop, want 1", ran)
+	}
+}
+
+func TestSleepUntilPastIsNoop(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Go("p", func(p *Proc) {
+		p.Sleep(100)
+		p.SleepUntil(50) // already past
+		at = p.Now()
+	})
+	e.RunUntilQuiet()
+	if at != 100 {
+		t.Fatalf("SleepUntil in the past moved time to %d", at)
+	}
+}
+
+func TestResourceBacklog(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x")
+	e.At(0, func() {
+		r.Enqueue(100, nil)
+		r.Enqueue(100, nil)
+		if got := r.Backlog(); got != 200 {
+			t.Errorf("backlog = %d, want 200", got)
+		}
+	})
+	e.At(150, func() {
+		if got := r.Backlog(); got != 50 {
+			t.Errorf("backlog at t=150 = %d, want 50", got)
+		}
+	})
+	e.At(250, func() {
+		if got := r.Backlog(); got != 0 {
+			t.Errorf("backlog after drain = %d", got)
+		}
+	})
+	e.RunUntilQuiet()
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	e := NewEngine()
+	e.Go("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative sleep did not panic")
+			}
+		}()
+		p.Sleep(-1)
+	})
+	e.RunUntilQuiet()
+}

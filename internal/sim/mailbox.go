@@ -1,0 +1,39 @@
+package sim
+
+// Mailbox is an unbounded FIFO message queue between simulated activities.
+// Send may be called from any context; Recv must be called from process
+// context and blocks until a message is available.
+type Mailbox[T any] struct {
+	items []T
+	q     WaitQ
+}
+
+// Send enqueues an item and wakes one waiting receiver.
+func (m *Mailbox[T]) Send(v T) {
+	m.items = append(m.items, v)
+	m.q.WakeOne()
+}
+
+// Recv dequeues the oldest item, blocking p until one is available.
+func (m *Mailbox[T]) Recv(p *Proc) T {
+	for len(m.items) == 0 {
+		m.q.Wait(p)
+	}
+	v := m.items[0]
+	m.items = m.items[1:]
+	return v
+}
+
+// TryRecv dequeues the oldest item without blocking.
+func (m *Mailbox[T]) TryRecv() (T, bool) {
+	var zero T
+	if len(m.items) == 0 {
+		return zero, false
+	}
+	v := m.items[0]
+	m.items = m.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (m *Mailbox[T]) Len() int { return len(m.items) }

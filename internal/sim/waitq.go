@@ -1,0 +1,90 @@
+package sim
+
+// WaitQ is a FIFO queue of blocked processes, the simulation analogue of a
+// condition variable. Wait must be called from process context; WakeOne and
+// WakeAll may be called from any context (they schedule the resumption as a
+// zero-delay event).
+type WaitQ struct {
+	waiters []*Proc
+}
+
+// Len returns the number of processes currently blocked on the queue.
+func (q *WaitQ) Len() int { return len(q.waiters) }
+
+// Wait blocks the calling process until it is woken.
+func (q *WaitQ) Wait(p *Proc) {
+	q.waiters = append(q.waiters, p)
+	p.Park()
+}
+
+// WakeOne wakes the longest-waiting process, if any, and reports whether a
+// process was woken.
+func (q *WaitQ) WakeOne() bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	p := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	p.Unpark()
+	return true
+}
+
+// WakeAll wakes every waiting process and returns how many were woken.
+func (q *WaitQ) WakeAll() int {
+	n := len(q.waiters)
+	for _, p := range q.waiters {
+		p.Unpark()
+	}
+	q.waiters = nil
+	return n
+}
+
+// Flag is a one-shot level-triggered condition: processes that Wait before
+// Set block until Set; Waits after Set return immediately.
+type Flag struct {
+	set bool
+	q   WaitQ
+}
+
+// Set raises the flag and wakes all waiters.
+func (f *Flag) Set() {
+	if f.set {
+		return
+	}
+	f.set = true
+	f.q.WakeAll()
+}
+
+// IsSet reports whether the flag has been raised.
+func (f *Flag) IsSet() bool { return f.set }
+
+// Wait blocks p until the flag is set.
+func (f *Flag) Wait(p *Proc) {
+	for !f.set {
+		f.q.Wait(p)
+	}
+}
+
+// Counter is a monotonically increasing counter processes can wait on,
+// used to model spinning on a protocol flag word deposited by a remote NI.
+type Counter struct {
+	val uint64
+	q   WaitQ
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.val }
+
+// Add increases the counter and wakes all waiters (they re-check their
+// thresholds).
+func (c *Counter) Add(n uint64) {
+	c.val += n
+	c.q.WakeAll()
+}
+
+// WaitFor blocks p until the counter reaches at least target.
+func (c *Counter) WaitFor(p *Proc, target uint64) {
+	for c.val < target {
+		c.q.Wait(p)
+	}
+}

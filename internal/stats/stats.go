@@ -1,0 +1,206 @@
+// Package stats collects and formats execution-time statistics for the
+// simulated SVM system: per-processor execution-time breakdowns in the
+// paper's five categories, overhead sub-accounting (mprotect, barrier
+// protocol time), and simple aggregation helpers used by the benchmark
+// harness to regenerate the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"genima/internal/sim"
+)
+
+// Category classifies where a simulated processor's time goes, matching
+// the execution-time breakdown of Figure 3 in the paper.
+type Category int
+
+const (
+	// Compute is useful work, including local memory stalls.
+	Compute Category = iota
+	// Data is time spent on remote memory accesses (page faults).
+	Data
+	// Lock is time spent in lock synchronization.
+	Lock
+	// AcqRel is time in acquire/release primitives used purely for
+	// release consistency (no mutual exclusion).
+	AcqRel
+	// Barrier is time spent in barriers.
+	Barrier
+	numCategories
+)
+
+var categoryNames = [...]string{"Compute", "Data", "Lock", "Acq/Rel", "Barrier"}
+
+// String returns the category's display name.
+func (c Category) String() string {
+	if c < 0 || int(c) >= len(categoryNames) {
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// NumCategories is the number of breakdown categories.
+const NumCategories = int(numCategories)
+
+// Breakdown accumulates virtual time per category for one processor.
+type Breakdown struct {
+	T [NumCategories]sim.Time
+}
+
+// Add charges d to category c.
+func (b *Breakdown) Add(c Category, d sim.Time) { b.T[c] += d }
+
+// Total returns the sum over all categories.
+func (b *Breakdown) Total() sim.Time {
+	var t sim.Time
+	for _, v := range b.T {
+		t += v
+	}
+	return t
+}
+
+// Overhead returns total SVM overhead (everything except Compute).
+func (b *Breakdown) Overhead() sim.Time { return b.Total() - b.T[Compute] }
+
+// Merge adds o into b.
+func (b *Breakdown) Merge(o Breakdown) {
+	for i := range b.T {
+		b.T[i] += o.T[i]
+	}
+}
+
+// Average returns the mean breakdown over procs (empty input yields zero).
+func Average(procs []Breakdown) Breakdown {
+	var sum Breakdown
+	if len(procs) == 0 {
+		return sum
+	}
+	for _, p := range procs {
+		sum.Merge(p)
+	}
+	for i := range sum.T {
+		sum.T[i] /= sim.Time(len(procs))
+	}
+	return sum
+}
+
+// Fractions returns each category's share of the total (zeros if empty).
+func (b *Breakdown) Fractions() [NumCategories]float64 {
+	var f [NumCategories]float64
+	tot := b.Total()
+	if tot == 0 {
+		return f
+	}
+	for i, v := range b.T {
+		f[i] = float64(v) / float64(tot)
+	}
+	return f
+}
+
+// SVMAccounting tracks overhead sub-components the paper's Table 2
+// reports: where barrier time goes and how much of all SVM overhead is
+// mprotect.
+type SVMAccounting struct {
+	BarrierWait  sim.Time // imbalance: waiting for other processors
+	BarrierProto sim.Time // protocol processing at barriers (incl. mprotect there)
+	Mprotect     sim.Time // all mprotect time, wherever incurred
+	MprotectOps  uint64   // number of mprotect system calls (post-coalescing)
+	DiffCompute  sim.Time // time spent computing diffs
+	DiffBytes    uint64   // bytes of diff data produced
+	PageFetches  uint64   // remote page fetches
+	FetchRetries uint64   // remote-fetch retries due to stale home version
+	LockOps      uint64   // remote lock acquires
+	Interrupts   uint64   // host interrupts taken (Base-style asynchronous handling)
+}
+
+// Merge adds o into a.
+func (a *SVMAccounting) Merge(o SVMAccounting) {
+	a.BarrierWait += o.BarrierWait
+	a.BarrierProto += o.BarrierProto
+	a.Mprotect += o.Mprotect
+	a.MprotectOps += o.MprotectOps
+	a.DiffCompute += o.DiffCompute
+	a.DiffBytes += o.DiffBytes
+	a.PageFetches += o.PageFetches
+	a.FetchRetries += o.FetchRetries
+	a.LockOps += o.LockOps
+	a.Interrupts += o.Interrupts
+}
+
+// Seconds renders a virtual time as seconds.
+func Seconds(t sim.Time) float64 { return float64(t) / float64(sim.Second) }
+
+// Pct renders a ratio as a percentage.
+func Pct(num, den sim.Time) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// Table is a minimal fixed-width text table writer used by the bench
+// harness to print paper-style rows.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; cells are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	ncol := len(t.header)
+	width := make([]int, ncol)
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < ncol && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", width[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range width {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total+2*(ncol-1)))
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,214 @@
+package vmmc
+
+import (
+	"fmt"
+
+	"genima/internal/nic"
+	"genima/internal/sim"
+)
+
+// NI lock implementation (the paper's "Network interface locks", §2).
+//
+// Every lock has a static home NI. The home maintains the tail of a
+// distributed waiter chain (lastOwner); an acquire is forwarded to the
+// previous tail, whose NI grants the lock — immediately if it is free at
+// that NI, or upon the host's release otherwise. The grant carries an
+// opaque protocol payload (the lock timestamp) that the NIs store and
+// forward but never interpret. No host processor other than the
+// requester is ever involved, and no interrupts are taken.
+
+// niLock is home-side state: the current chain tail.
+type niLock struct {
+	lastOwner int
+}
+
+// ownedLock is owner-side state at the NI that currently (or imminently)
+// holds the lock.
+type ownedLock struct {
+	isOwner     bool
+	held        bool // host has acquired and not yet released
+	payload     any  // valid when isOwner && !held
+	payloadSize int
+	hasNext     bool
+	next        int
+}
+
+type acquireWait struct {
+	flag    sim.Flag
+	payload any
+}
+
+// pendingAcquires tracks the (single) outstanding remote acquire per
+// lock at this node; the protocol layer guarantees one per node.
+func (ep *Endpoint) pendingAcquire(id int) *acquireWait {
+	if ep.acq == nil {
+		ep.acq = map[int]*acquireWait{}
+	}
+	w := ep.acq[id]
+	if w == nil {
+		w = &acquireWait{}
+		ep.acq[id] = w
+	}
+	return w
+}
+
+func (ep *Endpoint) homeLock(id int) *niLock {
+	l := ep.locks[id]
+	if l == nil {
+		l = &niLock{lastOwner: ep.Node}
+		ep.locks[id] = l
+		// The home node's NI owns every lock it homes, free, initially.
+		ep.owned[id] = &ownedLock{isOwner: true}
+	}
+	return l
+}
+
+func (ep *Endpoint) ownedLockState(id int) *ownedLock {
+	ol := ep.owned[id]
+	if ol == nil {
+		ol = &ownedLock{}
+		ep.owned[id] = ol
+	}
+	return ol
+}
+
+// lockHome returns the static home node of a lock.
+func (l *Layer) lockHome(id int) int { return id % l.cfg.Nodes }
+
+const lockMsgSize = 16
+
+// NILockAcquire acquires lock id through the NI firmware, blocking the
+// calling process until the grant is deposited locally. It returns the
+// opaque payload stored by the last releaser (nil for first acquire).
+// The caller must ensure at most one outstanding acquire per (node, lock).
+func (ep *Endpoint) NILockAcquire(p *sim.Proc, id int) any {
+	home := ep.layer.lockHome(id)
+	w := ep.pendingAcquire(id)
+	if w.flag.IsSet() {
+		panic(fmt.Sprintf("vmmc: concurrent NILockAcquire of lock %d at node %d", id, ep.Node))
+	}
+
+	svc := ep.layer.cfg.Costs.NILockService
+	req := &nic.Packet{
+		Src: ep.Node, Dst: home, Size: lockMsgSize, Kind: "ni-lock-acq",
+		FwService: svc,
+		FwHandler: func(homeNI *nic.NI, _ *nic.Packet) {
+			hep := ep.layer.eps[home]
+			l := hep.homeLock(id)
+			prev := l.lastOwner
+			l.lastOwner = ep.Node
+			hep.fwHandoff(prev, id, ep.Node)
+		},
+	}
+	if home == ep.Node {
+		// Local home: the request is a host->NI post, no network hop.
+		p.Sleep(ep.layer.cfg.Costs.PostOverhead)
+		ep.ni.FirmwareRun(svc, func() {
+			l := ep.homeLock(id)
+			prev := l.lastOwner
+			l.lastOwner = ep.Node
+			ep.fwHandoff(prev, id, ep.Node)
+		})
+	} else {
+		ep.ni.Post(p, req)
+	}
+
+	w.flag.Wait(p)
+	payload := w.payload
+	delete(ep.acq, id)
+	return payload
+}
+
+// fwHandoff runs at the home NI: tell the previous chain tail to hand
+// the lock to requester. Runs in engine context on node ep.Node (home).
+func (ep *Endpoint) fwHandoff(prevOwner, id, requester int) {
+	if prevOwner == ep.Node {
+		// Previous owner's NI is this NI: handle locally.
+		ep.fwReceiveHandoff(id, requester)
+		return
+	}
+	ep.ni.FirmwareSend(&nic.Packet{
+		Src: ep.Node, Dst: prevOwner, Size: lockMsgSize, Kind: "ni-lock-fwd",
+		FwService: ep.layer.cfg.Costs.NILockService,
+		FwHandler: func(_ *nic.NI, _ *nic.Packet) {
+			ep.layer.eps[prevOwner].fwReceiveHandoff(id, requester)
+		},
+	}, false)
+}
+
+// fwReceiveHandoff runs at the (previous) owner NI when the home chains
+// a new requester to it.
+func (ep *Endpoint) fwReceiveHandoff(id, requester int) {
+	ol := ep.ownedLockState(id)
+	if ol.isOwner && !ol.held {
+		ep.fwGrant(id, requester, ol)
+		return
+	}
+	// Lock still held by the host here, or ownership is still in
+	// flight to this NI; remember the single chained waiter.
+	if ol.hasNext {
+		panic(fmt.Sprintf("vmmc: lock %d at node %d already has a chained waiter", id, ep.Node))
+	}
+	ol.hasNext = true
+	ol.next = requester
+}
+
+// fwGrant transfers ownership (and the payload) from this NI to
+// requester's NI, which deposits the grant into its host's memory.
+func (ep *Endpoint) fwGrant(id, requester int, ol *ownedLock) {
+	payload, psize := ol.payload, ol.payloadSize
+	ol.isOwner = false
+	ol.payload = nil
+
+	deliver := func(rep *Endpoint) {
+		rol := rep.ownedLockState(id)
+		rol.isOwner = true
+		rol.held = true
+		rep.ni.DepositLocal(lockMsgSize+psize, func() {
+			w := rep.pendingAcquire(id)
+			w.payload = payload
+			w.flag.Set()
+		})
+	}
+
+	if requester == ep.Node {
+		// Re-acquire by the same node: grant locally, no network hop.
+		ol.isOwner = true
+		ol.held = true
+		ep.ni.DepositLocal(lockMsgSize+psize, func() {
+			w := ep.pendingAcquire(id)
+			w.payload = payload
+			w.flag.Set()
+		})
+		return
+	}
+	ep.ni.FirmwareSend(&nic.Packet{
+		Src: ep.Node, Dst: requester, Size: lockMsgSize + psize, Kind: "ni-lock-grant",
+		FwService: ep.layer.cfg.Costs.NILockService,
+		FwHandler: func(_ *nic.NI, _ *nic.Packet) {
+			deliver(ep.layer.eps[requester])
+		},
+	}, false)
+}
+
+// NILockRelease releases lock id, storing payload (the protocol
+// timestamp) with it. The host only posts to its own NI; if a waiter is
+// chained, the NI hands the lock over without host involvement.
+func (ep *Endpoint) NILockRelease(p *sim.Proc, id int, payload any, payloadSize int) {
+	p.Sleep(ep.layer.cfg.Costs.PostOverhead)
+	ep.ni.FirmwareRun(ep.layer.cfg.Costs.NILockService, func() {
+		ol := ep.ownedLockState(id)
+		if !ol.isOwner || !ol.held {
+			panic(fmt.Sprintf("vmmc: NILockRelease of lock %d at node %d not held (owner=%v held=%v)",
+				id, ep.Node, ol.isOwner, ol.held))
+		}
+		ol.held = false
+		ol.payload = payload
+		ol.payloadSize = payloadSize
+		if ol.hasNext {
+			next := ol.next
+			ol.hasNext = false
+			ep.fwGrant(id, next, ol)
+		}
+	})
+}

@@ -1,0 +1,274 @@
+// Package vmmc models the VMMC user-level communication layer plus the
+// GeNIMA extensions to it, on top of the NI model:
+//
+//   - Remote deposit: asynchronous sends whose data lands directly in
+//     destination virtual memory with no receive operation and no host
+//     involvement (VMMC's native capability).
+//   - Interrupt delivery: deposits that additionally interrupt a host
+//     processor and hand the message to a registered sink — the only
+//     delivery mode the Base protocol uses for protocol requests.
+//   - Remote fetch: pull data from exported remote memory entirely via
+//     the home NI's firmware (extension §2 "Remote fetch").
+//   - NI locks: a distributed lock algorithm (static home, last-owner
+//     chaining) run entirely in NI firmware, carrying an opaque
+//     protocol timestamp with each grant (extension §2 "Network
+//     interface locks").
+//
+// Message payloads travel as Go values; the Size field is the simulated
+// wire size that drives all timing.
+package vmmc
+
+import (
+	"fmt"
+
+	"genima/internal/nic"
+	"genima/internal/sim"
+	"genima/internal/topo"
+)
+
+// Msg is a message delivered to a host interrupt sink.
+type Msg struct {
+	Src     int
+	Kind    string
+	Size    int
+	Payload any
+}
+
+// FetchReq is what a remote-fetch firmware handler receives.
+type FetchReq struct {
+	Src  int // requesting node
+	Tag  any // protocol-defined request descriptor (page id, ...)
+	Size int // requested data size in bytes
+}
+
+// FetchReply is the result of a remote fetch.
+type FetchReply struct {
+	Payload any
+	Size    int
+}
+
+// Layer is the communication layer instance for a whole cluster.
+type Layer struct {
+	eng *sim.Engine
+	cfg *topo.Config
+	sys *nic.System
+	eps []*Endpoint
+}
+
+// New builds the layer (one endpoint per node) over a fresh NI system.
+func New(eng *sim.Engine, cfg *topo.Config) *Layer {
+	l := &Layer{eng: eng, cfg: cfg, sys: nic.NewSystem(eng, cfg)}
+	l.eps = make([]*Endpoint, cfg.Nodes)
+	for i := range l.eps {
+		l.eps[i] = &Endpoint{
+			layer: l,
+			Node:  i,
+			ni:    l.sys.NIs[i],
+			locks: map[int]*niLock{},
+			owned: map[int]*ownedLock{},
+		}
+	}
+	return l
+}
+
+// Endpoint returns node n's endpoint.
+func (l *Layer) Endpoint(n int) *Endpoint { return l.eps[n] }
+
+// Monitor returns the NI firmware performance monitor.
+func (l *Layer) Monitor() *nic.Monitor { return l.sys.Monitor }
+
+// NIs exposes the underlying NI system (for queue statistics).
+func (l *Layer) NIs() *nic.System { return l.sys }
+
+// Endpoint is one node's view of the communication layer.
+type Endpoint struct {
+	layer *Layer
+	Node  int
+	ni    *nic.NI
+
+	// InterruptSink receives interrupt-class messages after the
+	// interrupt dispatch delay. Runs in engine context.
+	InterruptSink func(Msg)
+	// Perturb, if set, is invoked once per interrupt so the caller can
+	// charge scheduling perturbation to a compute processor.
+	Perturb func()
+
+	// FetchServer services remote-fetch requests against this node's
+	// exported memory. It runs in firmware context (engine context, no
+	// host time charged) and returns the reply payload and actual size.
+	FetchServer func(FetchReq) FetchReply
+
+	// NI lock state for locks homed at this node.
+	locks map[int]*niLock
+	// NI lock state for locks this node currently owns.
+	owned map[int]*ownedLock
+	// Outstanding remote lock acquires (one per lock).
+	acq map[int]*acquireWait
+
+	Interrupts uint64 // interrupt-class deliveries at this node
+}
+
+func (ep *Endpoint) packets(size int) []int {
+	max := ep.layer.cfg.MaxPacket
+	if size <= max {
+		return []int{size}
+	}
+	var out []int
+	for size > 0 {
+		n := size
+		if n > max {
+			n = max
+		}
+		out = append(out, n)
+		size -= n
+	}
+	return out
+}
+
+// Deposit asynchronously sends size bytes to node dst, depositing them
+// directly into destination memory. onDeliver (optional) runs in engine
+// context when the last byte lands. The caller is charged only the post
+// overhead (plus any post-queue stall).
+func (ep *Endpoint) Deposit(p *sim.Proc, dst, size int, kind string, payload any, onDeliver func()) {
+	sizes := ep.packets(size)
+	for i, sz := range sizes {
+		pkt := &nic.Packet{Src: ep.Node, Dst: dst, Size: sz, Kind: kind}
+		if i == len(sizes)-1 {
+			pkt.Payload = payload
+			pkt.OnDeliver = onDeliver
+		}
+		ep.ni.Post(p, pkt)
+	}
+}
+
+// DepositBroadcast sends one message that the fabric replicates to all
+// other nodes (requires cfg.NIBroadcast hardware): one host post, one
+// source DMA, N deliveries. onDeliver runs once per destination.
+func (ep *Endpoint) DepositBroadcast(p *sim.Proc, size int, kind string, onDeliver func(dst int)) {
+	if size > ep.layer.cfg.MaxPacket {
+		panic("vmmc: broadcast larger than one packet")
+	}
+	var dsts []int
+	for d := 0; d < ep.layer.cfg.Nodes; d++ {
+		if d != ep.Node {
+			dsts = append(dsts, d)
+		}
+	}
+	tmpl := &nic.Packet{Src: ep.Node, Dst: -1, Size: size, Kind: kind}
+	ep.ni.PostBroadcast(p, tmpl, dsts, onDeliver)
+}
+
+// DepositGathered sends size bytes of scattered data as ONE message
+// that the destination NI scatters into memory itself (the
+// scatter-gather extension, paper §3.3): extra firmware occupancy on
+// both NIs, no host involvement at the destination. apply runs in the
+// destination NI's firmware context.
+func (ep *Endpoint) DepositGathered(p *sim.Proc, dst, size int, kind string, apply func()) {
+	c := &ep.layer.cfg.Costs
+	sizes := ep.packets(size)
+	for i, sz := range sizes {
+		last := i == len(sizes)-1
+		pkt := &nic.Packet{
+			Src: ep.Node, Dst: dst, Size: sz, Kind: kind,
+			FwSendExtra: sim.Time(float64(sz) * c.NISGPerByte),
+			FwService:   sim.Time(float64(sz) * c.NISGPerByte),
+			FwHandler: func(_ *nic.NI, _ *nic.Packet) {
+				if last && apply != nil {
+					apply()
+				}
+			},
+		}
+		ep.ni.Post(p, pkt)
+	}
+}
+
+// DepositFromEvent is Deposit from engine context (protocol handlers).
+func (ep *Endpoint) DepositFromEvent(dst, size int, kind string, payload any, onDeliver func()) {
+	sizes := ep.packets(size)
+	for i, sz := range sizes {
+		pkt := &nic.Packet{Src: ep.Node, Dst: dst, Size: sz, Kind: kind}
+		if i == len(sizes)-1 {
+			pkt.Payload = payload
+			pkt.OnDeliver = onDeliver
+		}
+		ep.ni.PostFromEvent(pkt)
+	}
+}
+
+// SendInterrupt sends a message that interrupts a destination host
+// processor and is handed to the destination's InterruptSink after the
+// interrupt dispatch cost (the Base protocol's delivery mode).
+func (ep *Endpoint) SendInterrupt(p *sim.Proc, dst, size int, kind string, payload any) {
+	ep.sendInterruptPkts(dst, size, kind, payload, func(pkt *nic.Packet) {
+		ep.ni.Post(p, pkt)
+	})
+}
+
+// SendInterruptFromEvent is SendInterrupt from engine context.
+func (ep *Endpoint) SendInterruptFromEvent(dst, size int, kind string, payload any) {
+	ep.sendInterruptPkts(dst, size, kind, payload, func(pkt *nic.Packet) {
+		ep.ni.PostFromEvent(pkt)
+	})
+}
+
+func (ep *Endpoint) sendInterruptPkts(dst, size int, kind string, payload any, post func(*nic.Packet)) {
+	dstEP := ep.layer.eps[dst]
+	sizes := ep.packets(size)
+	for i, sz := range sizes {
+		pkt := &nic.Packet{Src: ep.Node, Dst: dst, Size: sz, Kind: kind}
+		if i == len(sizes)-1 {
+			pkt.Payload = payload
+			pkt.OnDeliver = func() { dstEP.interrupt(Msg{Src: ep.Node, Kind: kind, Size: size, Payload: payload}) }
+		}
+		post(pkt)
+	}
+}
+
+func (ep *Endpoint) interrupt(m Msg) {
+	ep.Interrupts++
+	if ep.Perturb != nil {
+		ep.Perturb()
+	}
+	sink := ep.InterruptSink
+	if sink == nil {
+		panic(fmt.Sprintf("vmmc: interrupt-class message %q at node %d with no sink", m.Kind, ep.Node))
+	}
+	ep.layer.eng.After(ep.layer.cfg.Costs.Interrupt, func() { sink(m) })
+}
+
+// RemoteFetch pulls size bytes of exported memory from node home,
+// serviced entirely by the home NI's firmware; the calling process
+// blocks until the reply is deposited locally. The home node's
+// FetchServer produces the data.
+func (ep *Endpoint) RemoteFetch(p *sim.Proc, home, size int, kind string, tag any) FetchReply {
+	if home == ep.Node {
+		panic("vmmc: RemoteFetch from self")
+	}
+	var reply FetchReply
+	var done sim.Flag
+	req := &nic.Packet{
+		Src: ep.Node, Dst: home, Size: 16, Kind: kind + "-req",
+		FwService: ep.layer.cfg.Costs.NIFetchService,
+		FwHandler: func(homeNI *nic.NI, _ *nic.Packet) {
+			srv := ep.layer.eps[home].FetchServer
+			if srv == nil {
+				panic(fmt.Sprintf("vmmc: remote fetch at node %d with no FetchServer", home))
+			}
+			r := srv(FetchReq{Src: ep.Node, Tag: tag, Size: size})
+			sizes := ep.packets(r.Size)
+			for i, sz := range sizes {
+				rp := &nic.Packet{Src: home, Dst: ep.Node, Size: sz, Kind: kind + "-reply"}
+				if i == len(sizes)-1 {
+					rp.OnDeliver = func() {
+						reply = r
+						done.Set()
+					}
+				}
+				homeNI.FirmwareSend(rp, true) // data DMA'd from host memory
+			}
+		},
+	}
+	ep.ni.Post(p, req)
+	done.Wait(p)
+	return reply
+}
