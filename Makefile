@@ -1,0 +1,32 @@
+# Tier-1 verification and perf targets. `make check` is the one-command
+# gate: build, vet, tests, and the race detector over the concurrent
+# suite runner.
+
+GO ?= go
+
+.PHONY: check build vet test race bench-smoke bench-json
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-smoke runs every micro- and suite-benchmark once — a fast "do
+# the benchmarks still build and run" gate, not a measurement.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./internal/sim ./internal/memory
+	$(GO) test -run xxx -bench 'Suite' -benchtime 1x .
+
+# bench-json refreshes BENCH_sim.json: the wall-clock serial-vs-parallel
+# suite comparison for the perf trajectory (see DESIGN.md §7).
+bench-json:
+	$(GO) run ./cmd/genima-bench -benchjson BENCH_sim.json -scale test -q

@@ -26,12 +26,44 @@ func runSuite(b *testing.B, hardware bool, kinds []genima.Protocol) *genima.Suit
 		Scale:     genima.TestScale,
 		Protocols: kinds,
 		Hardware:  hardware,
+		// Workers defaults to GOMAXPROCS: table/figure benchmarks use
+		// the parallel runner, like cmd/genima-bench.
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
 	return s
 }
+
+// benchSuiteWorkers times one full TestScale ladder (all protocols +
+// hardware) at a fixed worker count; the Serial/Parallel pair is the
+// wall-clock evidence for the parallel runner (see BENCH_sim.json).
+func benchSuiteWorkers(b *testing.B, workers int) {
+	cfg := genima.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		s, err := genima.RunSuite(cfg, genima.SuiteOptions{
+			Scale:    genima.TestScale,
+			Hardware: true,
+			Workers:  workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var events uint64
+		for _, rs := range s.SVM {
+			for _, r := range rs {
+				events += r.Events
+			}
+		}
+		b.ReportMetric(float64(events), "sim-events")
+	}
+}
+
+// BenchmarkSuiteSerial is the legacy one-run-at-a-time baseline.
+func BenchmarkSuiteSerial(b *testing.B) { benchSuiteWorkers(b, 1) }
+
+// BenchmarkSuiteParallel fans the same runs across GOMAXPROCS workers.
+func BenchmarkSuiteParallel(b *testing.B) { benchSuiteWorkers(b, 0) }
 
 func geoMean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -8,12 +8,19 @@
 //	genima-bench -scale test      # tiny problems (seconds)
 //	genima-bench -verify          # validate every run against sequential
 //	genima-bench -nodes 8         # cluster size for the 16-proc suite
+//	genima-bench -j 1             # serial runs (default: GOMAXPROCS)
+//	genima-bench -benchjson BENCH_sim.json -scale test
+//	                              # time serial vs parallel, emit JSON
+//	genima-bench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 )
@@ -27,13 +34,137 @@ var (
 	nodesFlag  = flag.Int("nodes", 4, "SMP nodes for the main suite (the paper uses 4)")
 	procsFlag  = flag.Int("procs", 4, "processors per node (the paper uses 4)")
 	quietFlag  = flag.Bool("q", false, "suppress progress output")
+	jFlag      = flag.Int("j", 0, "concurrent simulation workers (0 = GOMAXPROCS, 1 = serial)")
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	benchJSON  = flag.String("benchjson", "", "time the suite serial vs parallel and write a JSON summary to this file (skips the experiment output)")
 )
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genima-bench:", err)
+	os.Exit(1)
+}
+
+// benchSummary is the BENCH_sim.json schema: wall-clock evidence for the
+// simulator's perf trajectory. suite_*_seconds time one full ladder
+// (all protocols + hardware + sequential) over the ten applications.
+type benchSummary struct {
+	Generated          string  `json:"generated"`
+	GoVersion          string  `json:"go_version"`
+	NumCPU             int     `json:"num_cpu"`
+	GoMaxProcs         int     `json:"go_max_procs"`
+	Scale              string  `json:"scale"`
+	Workers            int     `json:"workers"`
+	SuiteSerialSeconds float64 `json:"suite_serial_seconds"`
+	SuiteParallelSecs  float64 `json:"suite_parallel_seconds"`
+	ParallelSpeedup    float64 `json:"parallel_speedup"`
+	SimEvents          uint64  `json:"sim_events"`
+	EventsPerSecSerial float64 `json:"events_per_sec_serial"`
+	EventsPerSecPar    float64 `json:"events_per_sec_parallel"`
+}
+
+// runBenchJSON times the full suite with Workers=1 and Workers=j and
+// writes the summary. The two runs produce identical SuiteResults (the
+// determinism contract), so the comparison is pure wall-clock.
+func runBenchJSON(path string, scale genima.Scale, scaleName string, workers int) {
+	cfg := genima.DefaultConfig()
+	cfg.Nodes = *nodesFlag
+	cfg.ProcsPerNode = *procsFlag
+	timeSuite := func(w int) (float64, uint64) {
+		t0 := time.Now()
+		s, err := genima.RunSuite(cfg, genima.SuiteOptions{
+			Scale:    scale,
+			Hardware: true,
+			Workers:  w,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(t0).Seconds()
+		var events uint64
+		for _, r := range s.Seq {
+			events += r.Events
+		}
+		for _, r := range s.HW {
+			events += r.Events
+		}
+		for _, rs := range s.SVM {
+			for _, r := range rs {
+				events += r.Events
+			}
+		}
+		return elapsed, events
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	serialSec, events := timeSuite(1)
+	parSec, _ := timeSuite(workers)
+	sum := benchSummary{
+		Generated:          time.Now().UTC().Format(time.RFC3339),
+		GoVersion:          runtime.Version(),
+		NumCPU:             runtime.NumCPU(),
+		GoMaxProcs:         runtime.GOMAXPROCS(0),
+		Scale:              scaleName,
+		Workers:            workers,
+		SuiteSerialSeconds: serialSec,
+		SuiteParallelSecs:  parSec,
+		ParallelSpeedup:    serialSec / parSec,
+		SimEvents:          events,
+		EventsPerSecSerial: float64(events) / serialSec,
+		EventsPerSecPar:    float64(events) / parSec,
+	}
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	if !*quietFlag {
+		fmt.Fprintf(os.Stderr, "serial %.2fs, parallel(%d) %.2fs, speedup %.2fx -> %s\n",
+			serialSec, workers, parSec, serialSec/parSec, path)
+	}
+}
 
 func main() {
 	flag.Parse()
 	scale := genima.BenchScale
+	scaleName := "bench"
 	if *scaleFlag == "test" {
 		scale = genima.TestScale
+		scaleName = "test"
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}()
+
+	if *benchJSON != "" {
+		runBenchJSON(*benchJSON, scale, scaleName, *jFlag)
+		return
 	}
 
 	want := map[string]bool{}
@@ -62,10 +193,10 @@ func main() {
 			Hardware: true,
 			Verify:   *verifyFlag,
 			Progress: progress,
+			Workers:  *jFlag,
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "genima-bench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if sel("fig1") {
 			fmt.Println(s.Figure1())
@@ -95,16 +226,14 @@ func main() {
 	if sel("table5") {
 		d, err := genima.Table5(scale, *verifyFlag, progress)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "genima-bench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Println(d)
 	}
 	if want["scaling"] {
 		d, err := genima.Scaling(scale, progress)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "genima-bench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Println(d)
 	}

@@ -28,6 +28,12 @@ type SuiteOptions struct {
 	Hardware  bool       // also run the Origin-2000-like model
 	Verify    bool       // validate every run against the sequential reference
 	Progress  func(string)
+
+	// Workers bounds how many simulations run concurrently. Every run
+	// owns a private engine and address space, so results are identical
+	// for any value; only wall-clock time and Progress ordering change.
+	// 0 (the default) uses GOMAXPROCS; 1 forces the legacy serial order.
+	Workers int
 }
 
 // SuiteResults holds every run needed to regenerate Figures 1–4 and
@@ -48,10 +54,15 @@ func (o *SuiteOptions) progress(format string, args ...any) {
 
 // RunSuite executes the application suite under every requested
 // protocol (plus the sequential reference and, optionally, hardware).
+// Independent runs are fanned across OS threads per opt.Workers; see
+// SuiteOptions. Results do not depend on the worker count.
 func RunSuite(cfg Config, opt SuiteOptions) (*SuiteResults, error) {
 	kinds := opt.Protocols
 	if kinds == nil {
 		kinds = Protocols()
+	}
+	if workers := suiteWorkers(opt.Workers); workers > 1 {
+		return runSuiteParallel(cfg, opt, kinds, workers)
 	}
 	s := &SuiteResults{Cfg: cfg, Entries: apps.Suite(opt.Scale), SVM: map[Protocol][]*Result{}}
 	for _, e := range s.Entries {

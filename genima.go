@@ -12,6 +12,11 @@
 // execution-time breakdowns, protocol accounting, and the NI firmware
 // monitor's contention ratios.
 //
+// Each simulation is deterministic and single-threaded, but a suite of
+// simulations is embarrassingly parallel: RunSuite fans its independent
+// (app × protocol) runs across OS threads (SuiteOptions.Workers,
+// default GOMAXPROCS) with byte-identical results for any worker count.
+//
 //	cfg := genima.DefaultConfig()
 //	res, _, err := genima.Run(cfg, genima.GeNIMA, fft.New(14))
 package genima

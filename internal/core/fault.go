@@ -135,6 +135,7 @@ func (n *Node) faultIn(p *sim.Proc, page int) {
 			data, ver = n.fetchBase(p, page)
 		}
 		n.installFetched(page, data)
+		n.Mem.Pool().Put(data) // snapshot consumed: recycle the buffer
 		n.copyVer[page] = ver
 		n.state[page] = pageValid
 		// Map the fresh page read-only.
@@ -185,6 +186,7 @@ func (n *Node) fetchBase(p *sim.Proc, page int) ([]byte, []uint64) {
 			return req.data.data, req.data.ver
 		}
 		n.Acct.FetchRetries++
+		n.Mem.Pool().Put(req.data.data) // stale snapshot: recycle
 	}
 }
 
@@ -200,6 +202,7 @@ func (n *Node) fetchRF(p *sim.Proc, page int) ([]byte, []uint64) {
 			return pl.data, pl.ver
 		}
 		n.Acct.FetchRetries++
+		n.Mem.Pool().Put(pl.data) // stale snapshot: recycle
 		p.Sleep(n.sys.Cfg.Costs.FetchRetryBackoff)
 	}
 }
@@ -208,7 +211,7 @@ func (n *Node) fetchRF(p *sim.Proc, page int) ([]byte, []uint64) {
 // version row. No host time is charged.
 func (n *Node) serveFetch(req vmmc.FetchReq) vmmc.FetchReply {
 	page := req.Tag.(int)
-	data := make([]byte, n.sys.Cfg.PageSize)
+	data := n.Mem.Pool().Get()
 	copy(data, n.sys.Space.HomeCopy(page))
 	ver := append([]uint64(nil), n.homeVer[page]...)
 	return vmmc.FetchReply{
@@ -228,7 +231,7 @@ func (n *Node) handlePageReq(p *sim.Proc, src int, req *pageReqMsg) {
 }
 
 func (n *Node) replyPage(p *sim.Proc, src int, req *pageReqMsg) {
-	data := make([]byte, n.sys.Cfg.PageSize)
+	data := n.Mem.Pool().Get()
 	copy(data, n.sys.Space.HomeCopy(req.page))
 	ver := append([]uint64(nil), n.homeVer[req.page]...)
 	n.ep.Deposit(p, src, n.sys.Cfg.PageSize+pageReplyOverhead, "page-reply", nil, func() {

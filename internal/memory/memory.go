@@ -6,6 +6,7 @@
 package memory
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -110,11 +111,57 @@ func (s *Space) PageRange(addr, size int) (first, last int) {
 	return addr / s.PageSize, (addr + size - 1) / s.PageSize
 }
 
+// BufPool is a deterministic free list of fixed-size page buffers.
+// Engines are share-nothing and single-threaded, so a plain LIFO slice
+// (rather than sync.Pool) keeps buffer reuse bit-deterministic from run
+// to run and race-free without atomics; every NodeMem owns its own pool
+// and no pool state crosses simulated runs. Buffers may migrate between
+// the pools of one simulation (a page snapshot allocated at the home is
+// released at the requester) — still within a single engine goroutine.
+type BufPool struct {
+	size int
+	free [][]byte
+
+	// Hits counts Gets served from the free list; Allocs counts Gets
+	// that fell through to make. Exposed for tests and benchmarks.
+	Hits, Allocs uint64
+}
+
+// NewBufPool returns an empty pool of size-byte buffers.
+func NewBufPool(size int) *BufPool { return &BufPool{size: size} }
+
+// Get returns a buffer of the pool's size. Contents are unspecified:
+// every caller overwrites the whole buffer (twin snapshot, page copy).
+func (p *BufPool) Get() []byte {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.Hits++
+		return b
+	}
+	p.Allocs++
+	return make([]byte, p.size)
+}
+
+// Put returns a buffer to the free list. Buffers of the wrong length
+// are dropped rather than poisoning the pool.
+func (p *BufPool) Put(b []byte) {
+	if len(b) != p.size {
+		return
+	}
+	p.free = append(p.free, b)
+}
+
+// Len returns the number of buffers currently on the free list.
+func (p *BufPool) Len() int { return len(p.free) }
+
 // NodeMem holds one node's local copies and twins.
 type NodeMem struct {
 	space *Space
 	pages [][]byte
 	twins [][]byte
+	pool  *BufPool
 }
 
 // NewNodeMem creates node-local storage for the space. All ten SPLASH-2
@@ -125,8 +172,13 @@ func NewNodeMem(s *Space) *NodeMem {
 		space: s,
 		pages: make([][]byte, s.NPages()),
 		twins: make([][]byte, s.NPages()),
+		pool:  NewBufPool(s.PageSize),
 	}
 }
+
+// Pool returns the node's page-buffer free list, shared by twins and by
+// the protocol layer's transient page snapshots (fetch replies).
+func (m *NodeMem) Pool() *BufPool { return m.pool }
 
 // Page returns the node's copy of a page, allocating it zeroed on first
 // use.
@@ -148,13 +200,14 @@ func (m *NodeMem) InstallCopy(page int, data []byte) {
 }
 
 // MakeTwin snapshots the node's current copy of page so later
-// modifications can be diffed. Idempotent within a twin lifetime.
+// modifications can be diffed. Idempotent within a twin lifetime. Twin
+// buffers come from the node's pool and return to it on DropTwin.
 func (m *NodeMem) MakeTwin(page int) {
 	if m.twins[page] != nil {
 		return
 	}
 	src := m.Page(page)
-	tw := make([]byte, len(src))
+	tw := m.pool.Get()
 	copy(tw, src)
 	m.twins[page] = tw
 }
@@ -162,8 +215,15 @@ func (m *NodeMem) MakeTwin(page int) {
 // HasTwin reports whether a twin exists for page.
 func (m *NodeMem) HasTwin(page int) bool { return m.twins[page] != nil }
 
-// DropTwin discards the twin after diffing.
-func (m *NodeMem) DropTwin(page int) { m.twins[page] = nil }
+// DropTwin discards the twin after diffing, recycling its buffer. Safe
+// even while Diff results are alive: runs alias the page copy, never the
+// twin.
+func (m *NodeMem) DropTwin(page int) {
+	if tw := m.twins[page]; tw != nil {
+		m.pool.Put(tw)
+		m.twins[page] = nil
+	}
+}
 
 // Diff compares the node's copy of page against its twin and returns the
 // contiguous runs of modified words. It panics if no twin exists.
@@ -183,27 +243,77 @@ type Run struct {
 
 // DiffWords compares cur against old at word granularity and returns the
 // modified runs (data aliases cur; callers snapshot if needed).
+//
+// The kernel compares 8 bytes at a time (unchanged regions dominate real
+// pages) and resolves run boundaries at word granularity, so its output
+// is run-for-run identical to a word-by-word byte comparison.
 func DiffWords(cur, old []byte, wordSize int) []Run {
 	if len(cur) != len(old) {
 		panic("memory: DiffWords length mismatch")
 	}
 	var runs []Run
 	n := len(cur)
-	for off := 0; off < n; {
-		// Find next differing word.
-		for off < n && equalWord(cur, old, off, wordSize) {
-			off += wordSize
-		}
+	off := 0
+	for off < n {
+		off = nextDifferingWord(cur, old, off, wordSize)
 		if off >= n {
 			break
 		}
 		start := off
-		for off < n && !equalWord(cur, old, off, wordSize) {
-			off += wordSize
-		}
+		off = nextEqualWord(cur, old, off, wordSize)
 		runs = append(runs, Run{Off: start, Data: cur[start:off]})
 	}
 	return runs
+}
+
+// nextDifferingWord returns the offset of the first word at or after off
+// that differs between a and b, or len(a) if none. When the word size
+// divides 8, equal regions are skipped 8 bytes per comparison; offsets
+// stay word-aligned because both strides are multiples of wordSize.
+func nextDifferingWord(a, b []byte, off, w int) int {
+	n := len(a)
+	if 8%w == 0 {
+		for off+8 <= n && binary.LittleEndian.Uint64(a[off:]) == binary.LittleEndian.Uint64(b[off:]) {
+			off += 8
+		}
+	}
+	for off < n && equalWord(a, b, off, w) {
+		off += w
+	}
+	if off > n {
+		off = n
+	}
+	return off
+}
+
+// nextEqualWord returns the offset of the first word at or after off that
+// is equal between a and b, or len(a) if none. Modified runs are usually
+// short, so whole words are compared with single integer loads.
+func nextEqualWord(a, b []byte, off, w int) int {
+	n := len(a)
+	switch w {
+	case 8:
+		for off+8 <= n && binary.LittleEndian.Uint64(a[off:]) != binary.LittleEndian.Uint64(b[off:]) {
+			off += 8
+		}
+	case 4:
+		for off+4 <= n && binary.LittleEndian.Uint32(a[off:]) != binary.LittleEndian.Uint32(b[off:]) {
+			off += 4
+		}
+	case 2:
+		for off+2 <= n && binary.LittleEndian.Uint16(a[off:]) != binary.LittleEndian.Uint16(b[off:]) {
+			off += 2
+		}
+	}
+	// A trailing partial word is clamped so runs never extend past the
+	// buffer (the old byte loop could over-slice into spare capacity).
+	for off < n && !equalWord(a, b, off, w) {
+		off += w
+	}
+	if off > n {
+		off = n
+	}
+	return off
 }
 
 func equalWord(a, b []byte, off, w int) bool {
@@ -219,9 +329,23 @@ func equalWord(a, b []byte, off, w int) bool {
 	return true
 }
 
-// ApplyRuns writes the runs into dst (a page copy).
+// ApplyRuns writes the runs into dst (a page copy). Single-word runs
+// dominate direct-diff traffic, so 4- and 8-byte runs are stored with
+// one integer move instead of a memmove call.
 func ApplyRuns(dst []byte, runs []Run) {
 	for _, r := range runs {
+		switch len(r.Data) {
+		case 8:
+			if r.Off+8 <= len(dst) {
+				binary.LittleEndian.PutUint64(dst[r.Off:], binary.LittleEndian.Uint64(r.Data))
+				continue
+			}
+		case 4:
+			if r.Off+4 <= len(dst) {
+				binary.LittleEndian.PutUint32(dst[r.Off:], binary.LittleEndian.Uint32(r.Data))
+				continue
+			}
+		}
 		copy(dst[r.Off:], r.Data)
 	}
 }
@@ -235,13 +359,16 @@ func RunsBytes(runs []Run) int {
 	return n
 }
 
-// CloneRuns deep-copies runs so they survive further page mutation.
+// CloneRuns deep-copies runs so they survive further page mutation. All
+// clones share one backing allocation (a diff is cloned and applied as a
+// unit), collapsing len(runs)+1 allocations into two.
 func CloneRuns(runs []Run) []Run {
 	out := make([]Run, len(runs))
+	buf := make([]byte, 0, RunsBytes(runs))
 	for i, r := range runs {
-		d := make([]byte, len(r.Data))
-		copy(d, r.Data)
-		out[i] = Run{Off: r.Off, Data: d}
+		start := len(buf)
+		buf = append(buf, r.Data...)
+		out[i] = Run{Off: r.Off, Data: buf[start:len(buf):len(buf)]}
 	}
 	return out
 }

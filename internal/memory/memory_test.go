@@ -283,3 +283,168 @@ func TestDiffWithoutTwinPanics(t *testing.T) {
 	}()
 	m.Diff(0)
 }
+
+// diffWordsRef is the original word-by-word byte-loop DiffWords, the
+// oracle for the chunked kernel. (One fix over the historical code: a
+// trailing partial word is clamped at n instead of over-slicing into
+// the buffer's spare capacity, matching the kernel.)
+func diffWordsRef(cur, old []byte, wordSize int) []Run {
+	if len(cur) != len(old) {
+		panic("memory: DiffWords length mismatch")
+	}
+	var runs []Run
+	n := len(cur)
+	for off := 0; off < n; {
+		for off < n && equalWord(cur, old, off, wordSize) {
+			off += wordSize
+		}
+		if off >= n {
+			break
+		}
+		start := off
+		for off < n && !equalWord(cur, old, off, wordSize) {
+			off += wordSize
+		}
+		if off > n {
+			off = n
+		}
+		runs = append(runs, Run{Off: start, Data: cur[start:off]})
+	}
+	return runs
+}
+
+func runsEqual(a, b []Run) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Off != b[i].Off || !bytes.Equal(a[i].Data, b[i].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDiffWordsMatchesReference is the testing/quick property test: the
+// chunked kernel must be run-for-run identical to the byte loop for
+// random page pairs, word sizes (dividing and not dividing 8), and
+// lengths (including non-multiples of the word size).
+func TestDiffWordsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for _, w := range []int{1, 2, 4, 8, 3, 16} {
+			n := r.Intn(600)
+			old := make([]byte, n)
+			r.Read(old)
+			cur := append([]byte(nil), old...)
+			// Mutate a random sprinkle of bytes plus a dense burst, the
+			// two shapes real diffs take.
+			for i := 0; n > 0 && i < r.Intn(20); i++ {
+				cur[r.Intn(n)] ^= byte(1 + r.Intn(255))
+			}
+			if n > 16 {
+				start := r.Intn(n - 8)
+				for i := start; i < start+8; i++ {
+					cur[i] ^= 0xff
+				}
+			}
+			got := DiffWords(cur, old, w)
+			want := diffWordsRef(cur, old, w)
+			if !runsEqual(got, want) {
+				t.Logf("w=%d n=%d: got %d runs, want %d", w, n, len(got), len(want))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffApplyRoundTrip: applying the diff of (cur, old) onto a copy of
+// old must reproduce cur exactly — with both the fast and generic paths.
+func TestDiffApplyRoundTrip(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for _, w := range []int{4, 8} {
+			n := 64 * (1 + r.Intn(8))
+			old := make([]byte, n)
+			r.Read(old)
+			cur := append([]byte(nil), old...)
+			for i := 0; i < r.Intn(40); i++ {
+				cur[r.Intn(n)] ^= byte(1 + r.Intn(255))
+			}
+			dst := append([]byte(nil), old...)
+			ApplyRuns(dst, DiffWords(cur, old, w))
+			if !bytes.Equal(dst, cur) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTwinPooling: DropTwin must recycle the twin buffer and MakeTwin
+// must reuse it rather than allocating.
+func TestTwinPooling(t *testing.T) {
+	s := NewSpace(256, 4, 1)
+	s.Alloc("a", 1024, RoundRobin)
+	m := NewNodeMem(s)
+
+	m.Page(0)[0] = 1
+	m.MakeTwin(0)
+	first := &m.twins[0][0]
+	m.DropTwin(0)
+	if m.pool.Len() != 1 {
+		t.Fatalf("pool length after DropTwin = %d, want 1", m.pool.Len())
+	}
+	m.Page(1)[0] = 2
+	m.MakeTwin(1)
+	if &m.twins[1][0] != first {
+		t.Error("MakeTwin did not reuse the recycled buffer")
+	}
+	if m.pool.Allocs != 1 || m.pool.Hits != 1 {
+		t.Errorf("pool stats = %d allocs / %d hits, want 1/1", m.pool.Allocs, m.pool.Hits)
+	}
+	// The recycled buffer must still produce correct twin contents.
+	if m.twins[1][0] != 2 {
+		t.Error("reused twin does not snapshot the page")
+	}
+}
+
+// TestBufPoolWrongSizeDropped: foreign-size buffers must not enter the pool.
+func TestBufPoolWrongSizeDropped(t *testing.T) {
+	p := NewBufPool(64)
+	p.Put(make([]byte, 63))
+	if p.Len() != 0 {
+		t.Fatal("wrong-size buffer entered the pool")
+	}
+	b := p.Get()
+	if len(b) != 64 {
+		t.Fatalf("Get returned %d bytes, want 64", len(b))
+	}
+}
+
+// TestCloneRunsSharedBacking: clones must survive mutation of the source
+// page even with the shared backing buffer.
+func TestCloneRunsSharedBacking(t *testing.T) {
+	cur := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	old := []byte{1, 2, 0, 0, 5, 6, 0, 0}
+	runs := DiffWords(cur, old, 2)
+	clone := CloneRuns(runs)
+	cur[2], cur[6] = 99, 99
+	if clone[0].Data[0] != 3 || clone[1].Data[0] != 7 {
+		t.Fatalf("clone aliases the source page: %v", clone)
+	}
+	// Appending to one clone's data must not bleed into the next run's
+	// backing space.
+	_ = append(clone[0].Data, 0xAA)
+	if clone[1].Data[0] != 7 {
+		t.Fatal("clone backing buffer not capacity-clipped")
+	}
+}

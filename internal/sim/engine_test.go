@@ -454,3 +454,77 @@ func TestNegativeSleepPanics(t *testing.T) {
 	})
 	e.RunUntilQuiet()
 }
+
+// TestEventQueueOrderProperty cross-checks the typed 4-ary heap against
+// a sort-based oracle under random interleaved pushes and pops, with
+// many timestamp ties to exercise the seq tie-break.
+func TestEventQueueOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		var q eventQueue
+		var oracle []event
+		seq := uint64(0)
+		var popped, want []uint64
+		for op := 0; op < 400; op++ {
+			if q.len() == 0 || rng.Intn(3) > 0 {
+				seq++
+				ev := event{at: Time(rng.Intn(16)), seq: seq}
+				q.push(ev)
+				oracle = append(oracle, ev)
+				continue
+			}
+			popped = append(popped, q.pop().seq)
+			// Oracle: minimum by (at, seq).
+			m := 0
+			for i := range oracle {
+				if eventBefore(&oracle[i], &oracle[m]) {
+					m = i
+				}
+			}
+			want = append(want, oracle[m].seq)
+			oracle = append(oracle[:m], oracle[m+1:]...)
+		}
+		for q.len() > 0 {
+			popped = append(popped, q.pop().seq)
+			m := 0
+			for i := range oracle {
+				if eventBefore(&oracle[i], &oracle[m]) {
+					m = i
+				}
+			}
+			want = append(want, oracle[m].seq)
+			oracle = append(oracle[:m], oracle[m+1:]...)
+		}
+		for i := range want {
+			if popped[i] != want[i] {
+				t.Fatalf("trial %d: pop order differs from oracle at %d: got %v want %v",
+					trial, i, popped[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDrainedEngineHoldsNoEvents is the regression test for the event
+// closure retention leak: after the queue drains, every slot of the
+// backing array must be zeroed so executed closures are collectable.
+func TestDrainedEngineHoldsNoEvents(t *testing.T) {
+	e := NewEngine()
+	var ran int
+	for i := 0; i < 1000; i++ {
+		d := Time(i % 37)
+		e.At(d, func() { ran++ })
+	}
+	e.RunUntilQuiet()
+	if ran != 1000 {
+		t.Fatalf("ran %d events, want 1000", ran)
+	}
+	if e.events.len() != 0 {
+		t.Fatalf("queue not drained: %d left", e.events.len())
+	}
+	backing := e.events.a[:cap(e.events.a)]
+	for i, ev := range backing {
+		if ev.fn != nil {
+			t.Fatalf("drained queue retains closure at slot %d of %d", i, len(backing))
+		}
+	}
+}

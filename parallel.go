@@ -1,0 +1,165 @@
+package genima
+
+// The parallel experiment runner: RunSuite fans its (app × protocol)
+// simulations across OS threads. Every run owns a private sim.Engine,
+// memory.Space, and app.App instance, so runs are share-nothing and each
+// one is exactly the simulation the serial runner would have executed —
+// virtual times, statistics, and rendered tables are byte-identical for
+// any Workers value. Only the wall-clock order of Progress callbacks
+// changes.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"genima/internal/app"
+	"genima/internal/apps"
+)
+
+// parallelFor runs task(0..n-1) on up to workers goroutines pulling from
+// a shared index counter. All tasks run even if one fails; the error
+// with the lowest index is returned, so the failure surfaced does not
+// depend on scheduling.
+func parallelFor(workers, n int, task func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = task(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// suiteWorkers resolves a SuiteOptions.Workers value: 0 means one
+// worker per OS thread.
+func suiteWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// suiteJob is one simulation of the phase-2 fan-out: either the
+// hardware-DSM yardstick or one protocol rung for one application.
+type suiteJob struct {
+	entry int
+	hw    bool
+	kind  Protocol
+}
+
+// runSuiteParallel executes the suite with the worker pool. Phase 1 runs
+// the sequential references (every verification and speedup needs them);
+// phase 2 fans out all (app × protocol) runs plus the hardware runs.
+// Each job rebuilds its own App instance via apps.Suite — applications
+// cache derived state on the receiver during Setup, so instances must
+// not be shared between concurrent runs.
+func runSuiteParallel(cfg Config, opt SuiteOptions, kinds []Protocol, workers int) (*SuiteResults, error) {
+	s := &SuiteResults{Cfg: cfg, Entries: apps.Suite(opt.Scale), SVM: map[Protocol][]*Result{}}
+	n := len(s.Entries)
+
+	var mu sync.Mutex
+	progress := func(format string, args ...any) {
+		if opt.Progress == nil {
+			return
+		}
+		msg := fmt.Sprintf(format, args...)
+		mu.Lock()
+		defer mu.Unlock()
+		opt.Progress(msg)
+	}
+
+	s.Seq = make([]*Result, n)
+	seqWS := make([]*Workspace, n)
+	err := parallelFor(workers, n, func(i int) error {
+		a := apps.Suite(opt.Scale)[i].App
+		progress("seq  %-12s", a.Name())
+		res, ws, err := app.RunSeq(cfg, a)
+		if err != nil {
+			return err
+		}
+		s.Seq[i], seqWS[i] = res, ws
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var jobs []suiteJob
+	for i := 0; i < n; i++ {
+		if opt.Hardware {
+			jobs = append(jobs, suiteJob{entry: i, hw: true})
+		}
+		for _, k := range kinds {
+			jobs = append(jobs, suiteJob{entry: i, kind: k})
+		}
+	}
+	if opt.Hardware {
+		s.HW = make([]*Result, n)
+	}
+	for _, k := range kinds {
+		s.SVM[k] = make([]*Result, n)
+	}
+	err = parallelFor(workers, len(jobs), func(j int) error {
+		jb := jobs[j]
+		a := apps.Suite(opt.Scale)[jb.entry].App
+		if jb.hw {
+			progress("hw   %-12s", a.Name())
+			res, ws, err := app.RunHW(cfg, a)
+			if err != nil {
+				return err
+			}
+			if opt.Verify {
+				if err := app.Validate(a, ws, seqWS[jb.entry]); err != nil {
+					return fmt.Errorf("%s on hwdsm: %w", a.Name(), err)
+				}
+			}
+			s.HW[jb.entry] = res
+			return nil
+		}
+		progress("%-4s %-12s", jb.kind, a.Name())
+		res, ws, err := app.RunSVM(cfg, jb.kind, a)
+		if err != nil {
+			return err
+		}
+		if opt.Verify {
+			if err := app.Validate(a, ws, seqWS[jb.entry]); err != nil {
+				return fmt.Errorf("%s on %v: %w", a.Name(), jb.kind, err)
+			}
+		}
+		s.SVM[jb.kind][jb.entry] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}

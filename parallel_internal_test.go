@@ -1,0 +1,62 @@
+package genima
+
+// White-box tests for the worker pool itself.
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForRunsEveryTask(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		var hits [100]atomic.Int32
+		if err := parallelFor(workers, len(hits), func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestParallelForReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	for _, workers := range []int{1, 4} {
+		err := parallelFor(workers, 50, func(i int) error {
+			switch i {
+			case 13:
+				return errA
+			case 40:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Fatalf("workers=%d: err = %v, want the lowest-index error %v", workers, err, errA)
+		}
+	}
+}
+
+func TestParallelForZeroTasks(t *testing.T) {
+	if err := parallelFor(4, 0, func(int) error { t.Fatal("task ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuiteWorkersDefaults(t *testing.T) {
+	if got := suiteWorkers(1); got != 1 {
+		t.Fatalf("suiteWorkers(1) = %d", got)
+	}
+	if got := suiteWorkers(0); got < 1 {
+		t.Fatalf("suiteWorkers(0) = %d", got)
+	}
+	if got := suiteWorkers(9); got != 9 {
+		t.Fatalf("suiteWorkers(9) = %d", got)
+	}
+}

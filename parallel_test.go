@@ -1,0 +1,92 @@
+package genima_test
+
+// Determinism contract of the parallel suite runner: for the same
+// configuration, Workers=N must produce byte-identical results to the
+// legacy serial runner (Workers=1) — same virtual end times, same event
+// counts, same rendered tables. `go test -race` exercises the pool's
+// sharing discipline.
+
+import (
+	"testing"
+
+	genima "genima"
+)
+
+func suiteForWorkers(t *testing.T, workers int) *genima.SuiteResults {
+	t.Helper()
+	cfg := genima.DefaultConfig()
+	s, err := genima.RunSuite(cfg, genima.SuiteOptions{
+		Scale:    genima.TestScale,
+		Hardware: true,
+		Workers:  workers,
+	})
+	if err != nil {
+		t.Fatalf("RunSuite(Workers=%d): %v", workers, err)
+	}
+	return s
+}
+
+func TestParallelSuiteMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite ladder in -short mode")
+	}
+	serial := suiteForWorkers(t, 1)
+	par := suiteForWorkers(t, 4)
+
+	for i, e := range serial.Entries {
+		if a, b := serial.Seq[i], par.Seq[i]; a.Elapsed != b.Elapsed || a.Events != b.Events {
+			t.Errorf("%s seq: serial (%d ns, %d ev) != parallel (%d ns, %d ev)",
+				e.PaperName, a.Elapsed, a.Events, b.Elapsed, b.Events)
+		}
+		if a, b := serial.HW[i], par.HW[i]; a.Elapsed != b.Elapsed || a.Events != b.Events {
+			t.Errorf("%s hw: serial (%d ns, %d ev) != parallel (%d ns, %d ev)",
+				e.PaperName, a.Elapsed, a.Events, b.Elapsed, b.Events)
+		}
+		for _, k := range genima.Protocols() {
+			a, b := serial.SVM[k][i], par.SVM[k][i]
+			if a.Elapsed != b.Elapsed || a.Events != b.Events {
+				t.Errorf("%s on %v: serial (%d ns, %d ev) != parallel (%d ns, %d ev)",
+					e.PaperName, k, a.Elapsed, a.Events, b.Elapsed, b.Events)
+			}
+			if a.Acct != b.Acct {
+				t.Errorf("%s on %v: accounting differs between serial and parallel", e.PaperName, k)
+			}
+		}
+	}
+
+	renders := []struct {
+		name        string
+		serial, par string
+	}{
+		{"Figure1", serial.Figure1().String(), par.Figure1().String()},
+		{"Figure2", serial.Figure2().String(), par.Figure2().String()},
+		{"Figure3", serial.Figure3().String(), par.Figure3().String()},
+		{"Figure4", serial.Figure4().String(), par.Figure4().String()},
+		{"Table1", serial.Table1().String(), par.Table1().String()},
+		{"Table2", serial.Table2().String(), par.Table2().String()},
+		{"Table3", serial.Table3().String(), par.Table3().String()},
+		{"Table4", serial.Table4().String(), par.Table4().String()},
+	}
+	for _, r := range renders {
+		if r.serial != r.par {
+			t.Errorf("%s renders differently under Workers=4:\nserial:\n%s\nparallel:\n%s",
+				r.name, r.serial, r.par)
+		}
+	}
+}
+
+// TestParallelSuiteVerifies runs the parallel runner with cross-run
+// validation on: every protocol run's shared memory must match the
+// sequential reference computed in phase 1.
+func TestParallelSuiteVerifies(t *testing.T) {
+	cfg := genima.DefaultConfig()
+	_, err := genima.RunSuite(cfg, genima.SuiteOptions{
+		Scale:     genima.TestScale,
+		Protocols: []genima.Protocol{genima.Base, genima.GeNIMA},
+		Verify:    true,
+		Workers:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
