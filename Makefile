@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench-json
+.PHONY: check build vet test race bench-smoke bench-json bench-mem
 
 check: build vet test race
 
@@ -23,8 +23,14 @@ race:
 # bench-smoke runs every micro- and suite-benchmark once — a fast "do
 # the benchmarks still build and run" gate, not a measurement.
 bench-smoke:
-	$(GO) test -run xxx -bench . -benchtime 1x ./internal/sim ./internal/memory
+	$(GO) test -run xxx -bench . -benchtime 1x ./internal/sim ./internal/memory ./internal/vmmc
 	$(GO) test -run xxx -bench 'Suite' -benchtime 1x .
+
+# bench-mem measures allocation pressure on the messaging hot paths
+# (Deposit, remote fetch, broadcast, NI locks). The pooled pipeline
+# keeps the closed-loop paths at 0 allocs/op.
+bench-mem:
+	$(GO) test -run xxx -bench . -benchmem ./internal/vmmc ./internal/sim
 
 # bench-json refreshes BENCH_sim.json: the wall-clock serial-vs-parallel
 # suite comparison for the perf trajectory (see DESIGN.md §7).

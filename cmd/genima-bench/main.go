@@ -61,6 +61,12 @@ type benchSummary struct {
 	SimEvents          uint64  `json:"sim_events"`
 	EventsPerSecSerial float64 `json:"events_per_sec_serial"`
 	EventsPerSecPar    float64 `json:"events_per_sec_parallel"`
+	// Allocation pressure of the serial run (runtime.ReadMemStats deltas
+	// divided by simulated events): the pooled packet pipeline's headline
+	// metric. Lower is better; the typed event path targets ~0 on the
+	// messaging hot paths.
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
 }
 
 // runBenchJSON times the full suite with Workers=1 and Workers=j and
@@ -98,7 +104,12 @@ func runBenchJSON(path string, scale genima.Scale, scaleName string, workers int
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	serialSec, events := timeSuite(1)
+	runtime.ReadMemStats(&msAfter)
+	allocs := msAfter.Mallocs - msBefore.Mallocs
+	bytes := msAfter.TotalAlloc - msBefore.TotalAlloc
 	parSec, _ := timeSuite(workers)
 	sum := benchSummary{
 		Generated:          time.Now().UTC().Format(time.RFC3339),
@@ -113,6 +124,8 @@ func runBenchJSON(path string, scale genima.Scale, scaleName string, workers int
 		SimEvents:          events,
 		EventsPerSecSerial: float64(events) / serialSec,
 		EventsPerSecPar:    float64(events) / parSec,
+		AllocsPerEvent:     float64(allocs) / float64(events),
+		BytesPerEvent:      float64(bytes) / float64(events),
 	}
 	data, err := json.MarshalIndent(sum, "", "  ")
 	if err != nil {
@@ -122,8 +135,9 @@ func runBenchJSON(path string, scale genima.Scale, scaleName string, workers int
 		fatal(err)
 	}
 	if !*quietFlag {
-		fmt.Fprintf(os.Stderr, "serial %.2fs, parallel(%d) %.2fs, speedup %.2fx -> %s\n",
-			serialSec, workers, parSec, serialSec/parSec, path)
+		fmt.Fprintf(os.Stderr, "serial %.2fs, parallel(%d) %.2fs, speedup %.2fx, %.2f allocs/event, %.0f B/event -> %s\n",
+			serialSec, workers, parSec, serialSec/parSec,
+			sum.AllocsPerEvent, sum.BytesPerEvent, path)
 	}
 }
 

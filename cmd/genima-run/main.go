@@ -122,6 +122,10 @@ func main() {
 			fmt.Printf("post-queue stalls: %d (%.3f s lost)\n",
 				res.PostQueueStalls, stats.Seconds(res.PostQueueStallTime))
 		}
+		if res.PostQueueOverflows > 0 {
+			fmt.Printf("post-queue overflows (event-context posts past a full queue): %d\n",
+				res.PostQueueOverflows)
+		}
 		fmt.Println("\nNI firmware monitor (actual/uncontended per stage):")
 		for _, class := range []nic.Class{nic.Small, nic.Large} {
 			r := res.Monitor.Ratios(class)

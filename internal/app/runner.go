@@ -28,8 +28,11 @@ type Result struct {
 	// PostQueueStalls counts host sends that blocked on a full NI post
 	// queue; PostQueueStallTime is the total time lost to those stalls
 	// (the Barnes-spatial direct-diff effect of §3.3).
+	// PostQueueOverflows counts event-context posts accepted past a full
+	// post queue (those cannot stall, so the depth bound is waived).
 	PostQueueStalls    uint64
 	PostQueueStallTime sim.Time
+	PostQueueOverflows uint64
 	// Util summarizes communication-substrate occupancy.
 	Util Utilization
 }
@@ -116,6 +119,7 @@ func RunSVMTraced(cfg topo.Config, kind core.Kind, a App, tracer func(nic.TraceE
 	for i, ni := range nis.NIs {
 		res.PostQueueStalls += ni.PostQueue.Blocked
 		res.PostQueueStallTime += ni.PostQueue.BlockedTime
+		res.PostQueueOverflows += ni.Overflows
 		res.Util.Firmware = max(res.Util.Firmware, frac(ni.Firmware.BusyTime))
 		res.Util.PCI = max(res.Util.PCI, frac(ni.PCI.BusyTime))
 		res.Util.Link = max(res.Util.Link,

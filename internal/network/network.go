@@ -34,6 +34,12 @@ func (l *Link) Transfer(n int, fn func(start, end sim.Time)) {
 	l.res.Enqueue(l.ServiceTime(n), fn)
 }
 
+// TransferHandler is Transfer on the typed event path: h.Run fires when
+// the last byte is on the far side, with no closure allocation.
+func (l *Link) TransferHandler(n int, h sim.Handler) {
+	l.res.EnqueueHandler(l.ServiceTime(n), h)
+}
+
 // Stats exposes the underlying resource for utilization reporting.
 func (l *Link) Stats() *sim.Resource { return l.res }
 
@@ -54,6 +60,11 @@ func NewSwitch(eng *sim.Engine, fixed sim.Time) *Switch {
 // Route enqueues a routing decision; fn runs when the head flit exits.
 func (s *Switch) Route(fn func(start, end sim.Time)) {
 	s.res.Enqueue(s.fixed, fn)
+}
+
+// RouteHandler is Route on the typed event path.
+func (s *Switch) RouteHandler(h sim.Handler) {
+	s.res.EnqueueHandler(s.fixed, h)
 }
 
 // ServiceTime returns the uncontended routing delay.
@@ -111,7 +122,6 @@ func (f *Fabric) Broadcast(src int, dsts []int, n int, fn func(dst int, inject, 
 	f.Out[src].Transfer(n, func(_, outEnd sim.Time) {
 		f.Switch.Route(func(_, _ sim.Time) {
 			for _, dst := range dsts {
-				dst := dst
 				f.In[dst].Transfer(n, func(_, inEnd sim.Time) {
 					fn(dst, outEnd, inEnd)
 				})

@@ -105,7 +105,18 @@ type NI struct {
 	PCI       *sim.Resource // the node's I/O bus: both send and receive DMA
 	Firmware  *sim.Resource // the NI processor (one, shared by both directions)
 
+	// Overflows counts event-context posts accepted past a full post
+	// queue (PostFromEvent cannot block, so the depth bound is waived
+	// for them). Reported beside the PostQueue Gate statistics so the
+	// condition is observable instead of silent.
+	Overflows uint64
+
 	mon *Monitor
+
+	// Deterministic per-NI free lists for the pooled packet pipeline
+	// (see transit.go).
+	pktFree []*Packet
+	trFree  []*transit
 }
 
 // System is the set of NIs plus the shared fabric and monitor.
@@ -164,13 +175,15 @@ func (ni *NI) Post(p *sim.Proc, pkt *Packet) {
 // PostFromEvent submits a packet from engine context (e.g. a protocol
 // handler modeled as an event). It cannot block; if the post queue is
 // full the packet is still accepted (queue-depth accounting via Gate is
-// skipped), which callers use only for low-rate control traffic.
+// skipped) and the NI's Overflows counter is bumped, which callers use
+// only for low-rate control traffic.
 func (ni *NI) PostFromEvent(pkt *Packet) {
 	if !ni.PostQueue.TryAcquire() {
 		// Overflow is tolerated for event-context posts; the packet
 		// still pays all pipeline stage costs.
+		ni.Overflows++
 		pkt.tPost = ni.eng.Now()
-		ni.sendStages(pkt, false)
+		ni.newTransit(pkt).start()
 		return
 	}
 	ni.launch(pkt)
@@ -184,15 +197,13 @@ func (ni *NI) PostFromEvent(pkt *Packet) {
 func (ni *NI) FirmwareSend(pkt *Packet, dataFromHost bool) {
 	pkt.tPost = ni.eng.Now()
 	pkt.noSrcDMA = !dataFromHost
+	t := ni.newTransit(pkt)
 	if dataFromHost {
-		ni.PCI.Enqueue(ni.pciService(pkt.Size), func(_, end sim.Time) {
-			pkt.tSrc = end
-			ni.fwAndFabric(pkt)
-		})
+		t.start()
 		return
 	}
 	pkt.tSrc = ni.eng.Now()
-	ni.fwAndFabric(pkt)
+	t.startAtFirmware()
 }
 
 // launch runs the full host-originated send pipeline; the post-queue slot
@@ -200,78 +211,28 @@ func (ni *NI) FirmwareSend(pkt *Packet, dataFromHost bool) {
 // consumed by the NI).
 func (ni *NI) launch(pkt *Packet) {
 	pkt.tPost = ni.eng.Now()
-	ni.sendStages(pkt, true)
-}
-
-func (ni *NI) sendStages(pkt *Packet, holdsSlot bool) {
-	ni.PCI.Enqueue(ni.pciService(pkt.Size), func(_, end sim.Time) {
-		if holdsSlot {
-			ni.PostQueue.Release()
-		}
-		pkt.tSrc = end
-		ni.fwAndFabric(pkt)
-	})
-}
-
-func (ni *NI) fwAndFabric(pkt *Packet) {
-	ni.Firmware.Enqueue(ni.fwSendService(pkt.Size)+pkt.FwSendExtra, func(_, _ sim.Time) {
-		ni.fabric.Send(pkt.Src, pkt.Dst, pkt.Size, func(inject, arrive sim.Time) {
-			pkt.tInject = inject
-			pkt.tArrive = arrive
-			ni.peers[pkt.Dst].receive(pkt)
-		})
-	})
+	t := ni.newTransit(pkt)
+	t.holdsSlot = true
+	t.start()
 }
 
 // PostBroadcast submits one packet that the fabric replicates to every
 // node in dsts (the NI-broadcast extension, paper §5). The host pays
-// one post; each destination receives its own copy of the packet, with
-// onDeliver(dst) running at that copy's delivery. Broadcast packets are
-// plain deposits (no firmware handler).
+// one post; each destination receives its own copy of the packet (taken
+// from the packet pool at the switch fan-out), with onDeliver(dst)
+// running at that copy's delivery. Broadcast packets are plain deposits
+// (no firmware handler). The NI keeps no reference to dsts after the
+// switch stage, but the caller must not mutate it while the broadcast
+// is in flight.
 func (ni *NI) PostBroadcast(p *sim.Proc, tmpl *Packet, dsts []int, onDeliver func(dst int)) {
 	p.Sleep(ni.cfg.Costs.PostOverhead)
 	ni.PostQueue.Acquire(p)
 	tmpl.tPost = ni.eng.Now()
-	ni.PCI.Enqueue(ni.pciService(tmpl.Size), func(_, end sim.Time) {
-		ni.PostQueue.Release()
-		ni.Firmware.Enqueue(ni.fwSendService(tmpl.Size), func(_, _ sim.Time) {
-			ni.fabric.Broadcast(tmpl.Src, dsts, tmpl.Size, func(dst int, inject, arrive sim.Time) {
-				cp := *tmpl
-				cp.Dst = dst
-				cp.tSrc = end
-				cp.tInject = inject
-				cp.tArrive = arrive
-				cp.OnDeliver = nil
-				if onDeliver != nil {
-					d := dst
-					cp.OnDeliver = func() { onDeliver(d) }
-				}
-				ni.peers[dst].receive(&cp)
-			})
-		})
-	})
-}
-
-// receive runs the destination-side pipeline: firmware processing, then
-// either a firmware service (GeNIMA extensions) or a host-memory DMA
-// deposit.
-func (ni *NI) receive(pkt *Packet) {
-	svc := ni.fwRecvService(pkt.Size) + pkt.FwService
-	ni.Firmware.Enqueue(svc, func(_, end sim.Time) {
-		if pkt.FwHandler != nil {
-			pkt.tDone = end
-			ni.mon.record(ni.cfg, ni.fabric, pkt)
-			pkt.FwHandler(ni, pkt)
-			return
-		}
-		ni.PCI.Enqueue(ni.pciService(pkt.Size), func(_, dmaEnd sim.Time) {
-			pkt.tDone = dmaEnd
-			ni.mon.record(ni.cfg, ni.fabric, pkt)
-			if pkt.OnDeliver != nil {
-				pkt.OnDeliver()
-			}
-		})
-	})
+	t := ni.newTransit(tmpl)
+	t.holdsSlot = true
+	t.dsts = dsts
+	t.bcastDeliver = onDeliver
+	t.start()
 }
 
 // DepositLocal models the NI DMA-ing size bytes into its own host's

@@ -186,6 +186,108 @@ func TestPostQueueBackpressure(t *testing.T) {
 	}
 }
 
+func TestPostFromEventOverflowCounted(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := topo.Default()
+	cfg.PostQueueDepth = 2
+	sys := NewSystem(eng, &cfg)
+	delivered := 0
+	eng.At(0, func() {
+		// Five posts in one event: the first two claim the depth-2
+		// queue, the rest are accepted past it and must be counted.
+		for i := 0; i < 5; i++ {
+			pkt := sys.NIs[0].NewPacket()
+			pkt.Src, pkt.Dst, pkt.Size, pkt.Kind = 0, 1, 64, "ctl"
+			pkt.OnDeliver = func() { delivered++ }
+			sys.NIs[0].PostFromEvent(pkt)
+		}
+	})
+	eng.RunUntilQuiet()
+	if delivered != 5 {
+		t.Fatalf("delivered %d of 5", delivered)
+	}
+	if got := sys.NIs[0].Overflows; got != 3 {
+		t.Errorf("Overflows = %d, want 3", got)
+	}
+	if sys.NIs[0].PostQueue.Blocked != 0 {
+		t.Errorf("event-context overflow must not count as a Gate stall")
+	}
+	if sys.NIs[0].PostQueue.InUse() != 0 {
+		t.Errorf("post-queue slots leaked: InUse = %d", sys.NIs[0].PostQueue.InUse())
+	}
+}
+
+func TestPostQueueStallTimeExact(t *testing.T) {
+	// Depth-1 queue, two back-to-back posts: the second stalls from the
+	// end of its post overhead until the first packet's source DMA
+	// releases the slot. BlockedTime must equal exactly that interval.
+	eng := sim.NewEngine()
+	cfg := topo.Default()
+	cfg.PostQueueDepth = 1
+	sys := NewSystem(eng, &cfg)
+	po := cfg.Costs.PostOverhead
+	pci := cfg.Costs.PCIFixed + sim.Time(float64(4096)*cfg.Costs.PCIPerByte)
+	want := (po + pci) - 2*po // slot frees at po+pci; second acquire at 2*po
+	if want <= 0 {
+		t.Skipf("config makes the source DMA (%d) shorter than the post overhead", pci)
+	}
+	eng.Go("s", func(p *sim.Proc) {
+		sys.NIs[0].Post(p, &Packet{Src: 0, Dst: 1, Size: 4096})
+		sys.NIs[0].Post(p, &Packet{Src: 0, Dst: 1, Size: 4096})
+	})
+	eng.RunUntilQuiet()
+	if sys.NIs[0].PostQueue.Blocked != 1 {
+		t.Fatalf("Blocked = %d, want 1", sys.NIs[0].PostQueue.Blocked)
+	}
+	if got := sys.NIs[0].PostQueue.BlockedTime; got != want {
+		t.Errorf("BlockedTime = %d, want %d", got, want)
+	}
+}
+
+func TestPacketAndTransitRecycleToOrigin(t *testing.T) {
+	eng, sys, _ := newTestSystem(t)
+	eng.Go("s", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			pkt := sys.NIs[0].NewPacket()
+			pkt.Src, pkt.Dst, pkt.Size = 0, 1, 64
+			sys.NIs[0].Post(p, pkt)
+		}
+	})
+	eng.RunUntilQuiet()
+	// All packets and transits return to the origin NI's free lists, so
+	// a steady sender reaches a closed, allocation-free loop.
+	if got := len(sys.NIs[0].pktFree); got == 0 {
+		t.Error("origin packet pool empty after deliveries")
+	}
+	if got := len(sys.NIs[0].trFree); got == 0 {
+		t.Error("origin transit pool empty after deliveries")
+	}
+	if got := len(sys.NIs[1].pktFree); got != 0 {
+		t.Errorf("destination packet pool has %d packets; recycling should target the origin", got)
+	}
+}
+
+func TestBroadcastCopiesComeFromPool(t *testing.T) {
+	eng, sys, _ := newTestSystem(t)
+	delivered := 0
+	eng.Go("s", func(p *sim.Proc) {
+		tmpl := sys.NIs[0].NewPacket()
+		tmpl.Src, tmpl.Dst, tmpl.Size, tmpl.Kind = 0, -1, 128, "bcast"
+		sys.NIs[0].PostBroadcast(p, tmpl, []int{1, 2, 3}, func(int) { delivered++ })
+	})
+	eng.RunUntilQuiet()
+	if delivered != 3 {
+		t.Fatalf("delivered %d of 3 copies", delivered)
+	}
+	// Template + three per-destination copies all recycle to the origin.
+	if got := len(sys.NIs[0].pktFree); got != 4 {
+		t.Errorf("origin pool holds %d packets after broadcast, want 4", got)
+	}
+	if got := len(sys.NIs[0].trFree); got != 4 {
+		t.Errorf("origin pool holds %d transits after broadcast, want 4", got)
+	}
+}
+
 func TestMonitorUncontendedRatiosNearOne(t *testing.T) {
 	eng, sys, _ := newTestSystem(t)
 	// One widely spaced packet at a time: no contention anywhere.

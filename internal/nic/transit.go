@@ -1,0 +1,199 @@
+package nic
+
+import (
+	"genima/internal/sim"
+)
+
+// transit is the pooled state machine that carries one packet through
+// the seven-stage send/route/receive pipeline:
+//
+//	src PCI -> src firmware -> out-link -> switch -> in-link
+//	        -> dst firmware -> dst PCI
+//
+// Each stage completion is scheduled on the owning sim.Resource via
+// EnqueueHandler, so advancing a packet costs zero heap allocations:
+// the transit record itself is the sim.Handler, and its stage counter
+// says which boundary just completed. A broadcast uses one template
+// transit for the shared prefix (PCI, firmware, out-link, switch) and
+// fans out per-destination transits at the switch, each carrying its
+// own pooled Packet copy.
+//
+// The event *stream* is bit-identical to the old closure pipeline: the
+// same resources are reserved in the same order at the same times, and
+// EnqueueHandler shares the engine's seq counter with At, so FIFO
+// tie-breaks are unchanged. Only the Go-level dispatch changed.
+type transit struct {
+	ni        *NI // source NI: fabric, peer table, config
+	pkt       *Packet
+	stage     int8
+	holdsSlot bool // release the post-queue slot when the source DMA ends
+
+	// Broadcast template state (nil/zero on unicast and per-dst copies).
+	dsts         []int
+	bcastDeliver func(dst int)
+}
+
+// Stage values: the boundary that just completed when Run is invoked.
+const (
+	stSrcPCI  int8 = iota // source DMA into NI memory done
+	stSrcFW               // send-side firmware done -> enter the network
+	stOutLink             // last byte on the out-link (the inject point)
+	stSwitch              // crossbar arbitration done
+	stInLink              // last byte at the receiving NI
+	stDstFW               // receive-side firmware done
+	stDstPCI              // deposit DMA into destination host memory done
+)
+
+// start begins the pipeline at the source DMA stage.
+func (t *transit) start() {
+	t.stage = stSrcPCI
+	t.ni.PCI.EnqueueHandler(t.ni.pciService(t.pkt.Size), t)
+}
+
+// startAtFirmware begins the pipeline at the send-firmware stage, for
+// firmware-originated packets whose data already lives in NI memory.
+func (t *transit) startAtFirmware() {
+	t.stage = stSrcFW
+	t.ni.Firmware.EnqueueHandler(t.ni.fwSendService(t.pkt.Size)+t.pkt.FwSendExtra, t)
+}
+
+// Run advances the packet one stage. It implements sim.Handler; end is
+// the current virtual time (the completed reservation's end).
+func (t *transit) Run(_, end sim.Time) {
+	pkt := t.pkt
+	switch t.stage {
+	case stSrcPCI:
+		if t.holdsSlot {
+			t.ni.PostQueue.Release()
+		}
+		pkt.tSrc = end
+		t.stage = stSrcFW
+		t.ni.Firmware.EnqueueHandler(t.ni.fwSendService(pkt.Size)+pkt.FwSendExtra, t)
+
+	case stSrcFW:
+		t.stage = stOutLink
+		t.ni.fabric.Out[pkt.Src].TransferHandler(pkt.Size, t)
+
+	case stOutLink:
+		pkt.tInject = end
+		t.stage = stSwitch
+		t.ni.fabric.Switch.RouteHandler(t)
+
+	case stSwitch:
+		if t.dsts != nil {
+			t.fanOut()
+			return
+		}
+		t.stage = stInLink
+		t.ni.fabric.In[pkt.Dst].TransferHandler(pkt.Size, t)
+
+	case stInLink:
+		pkt.tArrive = end
+		t.stage = stDstFW
+		dst := t.ni.peers[pkt.Dst]
+		dst.Firmware.EnqueueHandler(dst.fwRecvService(pkt.Size)+pkt.FwService, t)
+
+	case stDstFW:
+		dst := t.ni.peers[pkt.Dst]
+		if pkt.FwHandler != nil {
+			pkt.tDone = end
+			dst.mon.record(dst.cfg, dst.fabric, pkt)
+			pkt.FwHandler(dst, pkt)
+			t.ni.recycle(t)
+			return
+		}
+		t.stage = stDstPCI
+		dst.PCI.EnqueueHandler(dst.pciService(pkt.Size), t)
+
+	case stDstPCI:
+		dst := t.ni.peers[pkt.Dst]
+		pkt.tDone = end
+		dst.mon.record(dst.cfg, dst.fabric, pkt)
+		if t.bcastDeliver != nil {
+			t.bcastDeliver(pkt.Dst)
+		} else if pkt.OnDeliver != nil {
+			pkt.OnDeliver()
+		}
+		t.ni.recycle(t)
+	}
+}
+
+// fanOut replicates a broadcast template onto every destination in-link
+// (the switch stage just completed). Each destination gets its own
+// pooled Packet copy and transit; the template is recycled here, so the
+// caller's dsts slice is never retained past the switch stage.
+func (t *transit) fanOut() {
+	tmpl := t.pkt
+	for _, dst := range t.dsts {
+		cp := t.ni.getPacket()
+		cp.Src, cp.Dst, cp.Size, cp.Kind = tmpl.Src, dst, tmpl.Size, tmpl.Kind
+		cp.Payload = tmpl.Payload
+		cp.FwService = tmpl.FwService
+		cp.tPost, cp.tSrc, cp.tInject = tmpl.tPost, tmpl.tSrc, tmpl.tInject
+		td := t.ni.getTransit()
+		td.ni = t.ni
+		td.pkt = cp
+		td.stage = stInLink
+		td.bcastDeliver = t.bcastDeliver
+		t.ni.fabric.In[dst].TransferHandler(cp.Size, td)
+	}
+	t.ni.recycle(t)
+}
+
+// getPacket returns a zeroed Packet from the NI's free list, or a fresh
+// one. Like memory.BufPool, the list is a plain LIFO slice: engines are
+// share-nothing and single-threaded, so reuse order is deterministic
+// run to run and needs no locks. A packet always returns to the pool of
+// the NI that issued it (the transit keeps the origin), so a node with
+// a steady send rate reaches a closed loop with zero allocations even
+// while its packets queue at a slow receiver.
+func (ni *NI) getPacket() *Packet {
+	if n := len(ni.pktFree); n > 0 {
+		p := ni.pktFree[n-1]
+		ni.pktFree[n-1] = nil
+		ni.pktFree = ni.pktFree[:n-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// NewPacket hands callers a pooled Packet for a subsequent Post /
+// PostFromEvent / FirmwareSend / PostBroadcast. The pipeline owns the
+// packet once posted and recycles it after delivery, so callers must
+// not retain or reuse it; fields are zeroed.
+func (ni *NI) NewPacket() *Packet { return ni.getPacket() }
+
+func (ni *NI) putPacket(p *Packet) {
+	*p = Packet{} // drop payload/handler references before pooling
+	ni.pktFree = append(ni.pktFree, p)
+}
+
+func (ni *NI) getTransit() *transit {
+	if n := len(ni.trFree); n > 0 {
+		t := ni.trFree[n-1]
+		ni.trFree[n-1] = nil
+		ni.trFree = ni.trFree[:n-1]
+		return t
+	}
+	return &transit{}
+}
+
+func (ni *NI) putTransit(t *transit) {
+	*t = transit{}
+	ni.trFree = append(ni.trFree, t)
+}
+
+// recycle returns a finished transit and its packet to this NI's pools
+// (always called on the origin NI, see getPacket).
+func (ni *NI) recycle(t *transit) {
+	ni.putPacket(t.pkt)
+	ni.putTransit(t)
+}
+
+// newTransit builds a transit for pkt originating at this NI.
+func (ni *NI) newTransit(pkt *Packet) *transit {
+	t := ni.getTransit()
+	t.ni = ni
+	t.pkt = pkt
+	return t
+}

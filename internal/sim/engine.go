@@ -33,10 +33,26 @@ const (
 // Micro returns d microseconds as a Time duration.
 func Micro(d float64) Time { return Time(d * float64(Microsecond)) }
 
+// Handler is the typed event form: a pre-built object whose Run method
+// the engine invokes directly from the event queue, with no func() (and
+// therefore no closure allocation) in between. start carries the
+// reservation's begin time when the event was scheduled by a Resource
+// (see Resource.EnqueueHandler); end is the event's own timestamp,
+// equal to Engine.Now() at dispatch. Hot paths (the NI packet pipeline)
+// implement Handler on pooled records; cold paths keep using At/After
+// with plain closures.
+type Handler interface {
+	Run(start, end Time)
+}
+
+// event is one queue entry. Exactly one of fn and h is set; h events
+// additionally carry the start word handed to Handler.Run.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at    Time
+	seq   uint64
+	start Time
+	fn    func()
+	h     Handler
 }
 
 // eventBefore orders events by timestamp, then by scheduling order, so
@@ -146,6 +162,20 @@ func (e *Engine) At(t Time, fn func()) {
 // After schedules fn to run d nanoseconds from now.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
+// AtHandler schedules h.Run(start, t) at virtual time t. It is the
+// allocation-free counterpart of At: the handler value is stored in the
+// event queue slot directly (no closure), so scheduling a pooled record
+// costs zero heap allocations. Ties with At-scheduled events are broken
+// by the same shared seq counter, so interleaving handler and closure
+// events preserves the global FIFO tie-break order.
+func (e *Engine) AtHandler(t, start Time, h Handler) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, start: start, h: h})
+}
+
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
@@ -160,7 +190,11 @@ func (e *Engine) Run(deadline Time) Time {
 		ev := e.events.pop()
 		e.now = ev.at
 		e.nEvents++
-		ev.fn()
+		if ev.h != nil {
+			ev.h.Run(ev.start, ev.at)
+		} else {
+			ev.fn()
+		}
 	}
 	return e.now
 }
@@ -191,7 +225,7 @@ func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
 		e.running--
 		e.park <- struct{}{} // return control to the engine loop
 	}()
-	e.After(0, func() { p.dispatch() })
+	e.AtHandler(e.now, e.now, p)
 	return p
 }
 
@@ -203,6 +237,12 @@ func (p *Proc) Engine() *Engine { return p.eng }
 
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.eng.now }
+
+// Run implements Handler: a scheduled wakeup dispatches the process.
+// It exists so Sleep, Unpark, and Go can schedule dispatches through
+// the typed event path with no closure allocation; it is not meant to
+// be called directly.
+func (p *Proc) Run(_, _ Time) { p.dispatch() }
 
 // dispatch transfers control from the engine loop to the process and
 // waits for it to yield back. It must run in engine (event) context.
@@ -229,7 +269,8 @@ func (p *Proc) Sleep(d Time) {
 	if d == 0 {
 		return
 	}
-	p.eng.After(d, func() { p.dispatch() })
+	t := p.eng.now + d
+	p.eng.AtHandler(t, t, p)
 	p.yield()
 }
 
@@ -249,5 +290,5 @@ func (p *Proc) Park() { p.yield() }
 // called from engine (event) context — e.g. inside an event callback — or
 // via WaitQ/Mailbox which handle this correctly.
 func (p *Proc) Unpark() {
-	p.eng.After(0, func() { p.dispatch() })
+	p.eng.AtHandler(p.eng.now, p.eng.now, p)
 }

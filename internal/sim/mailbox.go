@@ -19,9 +19,7 @@ func (m *Mailbox[T]) Recv(p *Proc) T {
 	for len(m.items) == 0 {
 		m.q.Wait(p)
 	}
-	v := m.items[0]
-	m.items = m.items[1:]
-	return v
+	return m.pop()
 }
 
 // TryRecv dequeues the oldest item without blocking.
@@ -30,9 +28,20 @@ func (m *Mailbox[T]) TryRecv() (T, bool) {
 	if len(m.items) == 0 {
 		return zero, false
 	}
+	return m.pop(), true
+}
+
+// pop removes the head, compacting in place so the backing array is
+// reused instead of re-sliced away (a steady send/recv cycle then
+// allocates nothing).
+func (m *Mailbox[T]) pop() T {
+	n := len(m.items)
 	v := m.items[0]
-	m.items = m.items[1:]
-	return v, true
+	var zero T
+	copy(m.items, m.items[1:])
+	m.items[n-1] = zero // release references held by the vacated slot
+	m.items = m.items[:n-1]
+	return v
 }
 
 // Len returns the number of queued items.

@@ -40,10 +40,9 @@ func (r *Resource) Backlog() Time {
 	return b
 }
 
-// Enqueue reserves the next FIFO slot for a job with the given service
-// time and returns the job's (start, end) times. If fn is non-nil it is
-// scheduled to run at end. Enqueue may be called from any context.
-func (r *Resource) Enqueue(service Time, fn func(start, end Time)) (start, end Time) {
+// reserve claims the next FIFO slot for a job with the given service
+// time, updates the statistics, and returns the job's (start, end).
+func (r *Resource) reserve(service Time) (start, end Time) {
 	now := r.eng.now
 	start = now
 	if r.busyUntil > start {
@@ -57,9 +56,28 @@ func (r *Resource) Enqueue(service Time, fn func(start, end Time)) (start, end T
 	if q := start - now; q > r.MaxQueued {
 		r.MaxQueued = q
 	}
+	return start, end
+}
+
+// Enqueue reserves the next FIFO slot for a job with the given service
+// time and returns the job's (start, end) times. If fn is non-nil it is
+// scheduled to run at end. Enqueue may be called from any context.
+func (r *Resource) Enqueue(service Time, fn func(start, end Time)) (start, end Time) {
+	start, end = r.reserve(service)
 	if fn != nil {
 		r.eng.At(end, func() { fn(start, end) })
 	}
+	return start, end
+}
+
+// EnqueueHandler is Enqueue for the typed event path: the reservation's
+// completion is scheduled as h.Run(start, end) with zero closure
+// allocations. It shares reserve and the engine's seq counter with
+// Enqueue, so a pipeline mixing both forms keeps the exact event order
+// the closure-only pipeline produced.
+func (r *Resource) EnqueueHandler(service Time, h Handler) (start, end Time) {
+	start, end = r.reserve(service)
+	r.eng.AtHandler(end, start, h)
 	return start, end
 }
 

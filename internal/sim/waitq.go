@@ -18,13 +18,18 @@ func (q *WaitQ) Wait(p *Proc) {
 }
 
 // WakeOne wakes the longest-waiting process, if any, and reports whether a
-// process was woken.
+// process was woken. The queue compacts in place rather than re-slicing
+// off the front, so the backing array is reused and a steady
+// block/wake cycle allocates nothing.
 func (q *WaitQ) WakeOne() bool {
-	if len(q.waiters) == 0 {
+	n := len(q.waiters)
+	if n == 0 {
 		return false
 	}
 	p := q.waiters[0]
-	q.waiters = q.waiters[1:]
+	copy(q.waiters, q.waiters[1:])
+	q.waiters[n-1] = nil
+	q.waiters = q.waiters[:n-1]
 	p.Unpark()
 	return true
 }
@@ -32,10 +37,11 @@ func (q *WaitQ) WakeOne() bool {
 // WakeAll wakes every waiting process and returns how many were woken.
 func (q *WaitQ) WakeAll() int {
 	n := len(q.waiters)
-	for _, p := range q.waiters {
+	for i, p := range q.waiters {
 		p.Unpark()
+		q.waiters[i] = nil // release, but keep the backing array
 	}
-	q.waiters = nil
+	q.waiters = q.waiters[:0]
 	return n
 }
 

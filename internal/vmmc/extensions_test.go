@@ -133,24 +133,38 @@ func TestInterruptWithoutSinkPanics(t *testing.T) {
 	eng.RunUntilQuiet()
 }
 
+// splitAll expands the arithmetic splitStep iteration into the full
+// packet-size list, the way every send loop walks it.
+func splitAll(size, max int) []int {
+	var out []int
+	for rem := size; ; {
+		sz, last := splitStep(rem, max)
+		out = append(out, sz)
+		if last {
+			return out
+		}
+		rem -= sz
+	}
+}
+
 func TestPacketSplitBoundaries(t *testing.T) {
-	_, l, cfg := newLayer(2)
-	ep := l.Endpoint(0)
+	_, _, cfg := newLayer(2)
 	cases := map[int][]int{
+		0:                 {0}, // zero-byte message still sends one packet
 		1:                 {1},
 		cfg.MaxPacket:     {cfg.MaxPacket},
 		cfg.MaxPacket + 1: {cfg.MaxPacket, 1},
 		3 * cfg.MaxPacket: {cfg.MaxPacket, cfg.MaxPacket, cfg.MaxPacket},
 	}
 	for size, want := range cases {
-		got := ep.packets(size)
+		got := splitAll(size, cfg.MaxPacket)
 		if len(got) != len(want) {
-			t.Errorf("packets(%d) = %v, want %v", size, got, want)
+			t.Errorf("splitAll(%d) = %v, want %v", size, got, want)
 			continue
 		}
 		for i := range want {
 			if got[i] != want[i] {
-				t.Errorf("packets(%d) = %v, want %v", size, got, want)
+				t.Errorf("splitAll(%d) = %v, want %v", size, got, want)
 				break
 			}
 		}

@@ -89,17 +89,6 @@ func (ep *Endpoint) NILockAcquire(p *sim.Proc, id int) any {
 	}
 
 	svc := ep.layer.cfg.Costs.NILockService
-	req := &nic.Packet{
-		Src: ep.Node, Dst: home, Size: lockMsgSize, Kind: "ni-lock-acq",
-		FwService: svc,
-		FwHandler: func(homeNI *nic.NI, _ *nic.Packet) {
-			hep := ep.layer.eps[home]
-			l := hep.homeLock(id)
-			prev := l.lastOwner
-			l.lastOwner = ep.Node
-			hep.fwHandoff(prev, id, ep.Node)
-		},
-	}
 	if home == ep.Node {
 		// Local home: the request is a host->NI post, no network hop.
 		p.Sleep(ep.layer.cfg.Costs.PostOverhead)
@@ -110,6 +99,16 @@ func (ep *Endpoint) NILockAcquire(p *sim.Proc, id int) any {
 			ep.fwHandoff(prev, id, ep.Node)
 		})
 	} else {
+		req := ep.ni.NewPacket()
+		req.Src, req.Dst, req.Size, req.Kind = ep.Node, home, lockMsgSize, "ni-lock-acq"
+		req.FwService = svc
+		req.FwHandler = func(homeNI *nic.NI, _ *nic.Packet) {
+			hep := ep.layer.eps[home]
+			l := hep.homeLock(id)
+			prev := l.lastOwner
+			l.lastOwner = ep.Node
+			hep.fwHandoff(prev, id, ep.Node)
+		}
 		ep.ni.Post(p, req)
 	}
 
@@ -127,13 +126,13 @@ func (ep *Endpoint) fwHandoff(prevOwner, id, requester int) {
 		ep.fwReceiveHandoff(id, requester)
 		return
 	}
-	ep.ni.FirmwareSend(&nic.Packet{
-		Src: ep.Node, Dst: prevOwner, Size: lockMsgSize, Kind: "ni-lock-fwd",
-		FwService: ep.layer.cfg.Costs.NILockService,
-		FwHandler: func(_ *nic.NI, _ *nic.Packet) {
-			ep.layer.eps[prevOwner].fwReceiveHandoff(id, requester)
-		},
-	}, false)
+	fwd := ep.ni.NewPacket()
+	fwd.Src, fwd.Dst, fwd.Size, fwd.Kind = ep.Node, prevOwner, lockMsgSize, "ni-lock-fwd"
+	fwd.FwService = ep.layer.cfg.Costs.NILockService
+	fwd.FwHandler = func(_ *nic.NI, _ *nic.Packet) {
+		ep.layer.eps[prevOwner].fwReceiveHandoff(id, requester)
+	}
+	ep.ni.FirmwareSend(fwd, false)
 }
 
 // fwReceiveHandoff runs at the (previous) owner NI when the home chains
@@ -182,13 +181,13 @@ func (ep *Endpoint) fwGrant(id, requester int, ol *ownedLock) {
 		})
 		return
 	}
-	ep.ni.FirmwareSend(&nic.Packet{
-		Src: ep.Node, Dst: requester, Size: lockMsgSize + psize, Kind: "ni-lock-grant",
-		FwService: ep.layer.cfg.Costs.NILockService,
-		FwHandler: func(_ *nic.NI, _ *nic.Packet) {
-			deliver(ep.layer.eps[requester])
-		},
-	}, false)
+	grant := ep.ni.NewPacket()
+	grant.Src, grant.Dst, grant.Size, grant.Kind = ep.Node, requester, lockMsgSize+psize, "ni-lock-grant"
+	grant.FwService = ep.layer.cfg.Costs.NILockService
+	grant.FwHandler = func(_ *nic.NI, _ *nic.Packet) {
+		deliver(ep.layer.eps[requester])
+	}
+	ep.ni.FirmwareSend(grant, false)
 }
 
 // NILockRelease releases lock id, storing payload (the protocol

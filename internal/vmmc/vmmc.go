@@ -105,24 +105,21 @@ type Endpoint struct {
 	// Outstanding remote lock acquires (one per lock).
 	acq map[int]*acquireWait
 
+	// bcastDsts caches the broadcast destination set (built lazily).
+	bcastDsts []int
+
 	Interrupts uint64 // interrupt-class deliveries at this node
 }
 
-func (ep *Endpoint) packets(size int) []int {
-	max := ep.layer.cfg.MaxPacket
-	if size <= max {
-		return []int{size}
+// splitStep computes one step of the message-to-wire-packet split
+// arithmetically (no per-send []int): for rem remaining bytes it
+// returns the next packet's size and whether it is the last. A
+// zero-byte message still produces one zero-size packet.
+func splitStep(rem, max int) (sz int, last bool) {
+	if rem <= max {
+		return rem, true
 	}
-	var out []int
-	for size > 0 {
-		n := size
-		if n > max {
-			n = max
-		}
-		out = append(out, n)
-		size -= n
-	}
-	return out
+	return max, false
 }
 
 // Deposit asynchronously sends size bytes to node dst, depositing them
@@ -130,14 +127,20 @@ func (ep *Endpoint) packets(size int) []int {
 // context when the last byte lands. The caller is charged only the post
 // overhead (plus any post-queue stall).
 func (ep *Endpoint) Deposit(p *sim.Proc, dst, size int, kind string, payload any, onDeliver func()) {
-	sizes := ep.packets(size)
-	for i, sz := range sizes {
-		pkt := &nic.Packet{Src: ep.Node, Dst: dst, Size: sz, Kind: kind}
-		if i == len(sizes)-1 {
+	max := ep.layer.cfg.MaxPacket
+	for rem := size; ; {
+		sz, last := splitStep(rem, max)
+		pkt := ep.ni.NewPacket()
+		pkt.Src, pkt.Dst, pkt.Size, pkt.Kind = ep.Node, dst, sz, kind
+		if last {
 			pkt.Payload = payload
 			pkt.OnDeliver = onDeliver
 		}
 		ep.ni.Post(p, pkt)
+		if last {
+			break
+		}
+		rem -= sz
 	}
 }
 
@@ -148,14 +151,19 @@ func (ep *Endpoint) DepositBroadcast(p *sim.Proc, size int, kind string, onDeliv
 	if size > ep.layer.cfg.MaxPacket {
 		panic("vmmc: broadcast larger than one packet")
 	}
-	var dsts []int
-	for d := 0; d < ep.layer.cfg.Nodes; d++ {
-		if d != ep.Node {
-			dsts = append(dsts, d)
+	if ep.bcastDsts == nil {
+		// The destination set (everyone but self) never changes; build
+		// it once so repeated broadcasts allocate nothing.
+		ep.bcastDsts = make([]int, 0, ep.layer.cfg.Nodes-1)
+		for d := 0; d < ep.layer.cfg.Nodes; d++ {
+			if d != ep.Node {
+				ep.bcastDsts = append(ep.bcastDsts, d)
+			}
 		}
 	}
-	tmpl := &nic.Packet{Src: ep.Node, Dst: -1, Size: size, Kind: kind}
-	ep.ni.PostBroadcast(p, tmpl, dsts, onDeliver)
+	tmpl := ep.ni.NewPacket()
+	tmpl.Src, tmpl.Dst, tmpl.Size, tmpl.Kind = ep.Node, -1, size, kind
+	ep.ni.PostBroadcast(p, tmpl, ep.bcastDsts, onDeliver)
 }
 
 // DepositGathered sends size bytes of scattered data as ONE message
@@ -165,33 +173,53 @@ func (ep *Endpoint) DepositBroadcast(p *sim.Proc, size int, kind string, onDeliv
 // destination NI's firmware context.
 func (ep *Endpoint) DepositGathered(p *sim.Proc, dst, size int, kind string, apply func()) {
 	c := &ep.layer.cfg.Costs
-	sizes := ep.packets(size)
-	for i, sz := range sizes {
-		last := i == len(sizes)-1
-		pkt := &nic.Packet{
-			Src: ep.Node, Dst: dst, Size: sz, Kind: kind,
-			FwSendExtra: sim.Time(float64(sz) * c.NISGPerByte),
-			FwService:   sim.Time(float64(sz) * c.NISGPerByte),
-			FwHandler: func(_ *nic.NI, _ *nic.Packet) {
-				if last && apply != nil {
-					apply()
-				}
-			},
+	max := ep.layer.cfg.MaxPacket
+	for rem := size; ; {
+		sz, last := splitStep(rem, max)
+		pkt := ep.ni.NewPacket()
+		pkt.Src, pkt.Dst, pkt.Size, pkt.Kind = ep.Node, dst, sz, kind
+		pkt.FwSendExtra = sim.Time(float64(sz) * c.NISGPerByte)
+		pkt.FwService = sim.Time(float64(sz) * c.NISGPerByte)
+		pkt.FwHandler = sgApplyHandler
+		if last && apply != nil {
+			// The scatter-gather payload slot carries the apply hook so
+			// one shared handler serves every sg packet (no per-packet
+			// closure); sg messages have no protocol payload of their own.
+			pkt.Payload = apply
 		}
 		ep.ni.Post(p, pkt)
+		if last {
+			break
+		}
+		rem -= sz
+	}
+}
+
+// sgApplyHandler is the shared firmware handler for scatter-gather
+// deposits: it scatters the fragment in NI firmware (the service time is
+// on the packet) and runs the apply hook carried by the final fragment.
+func sgApplyHandler(_ *nic.NI, pkt *nic.Packet) {
+	if f, ok := pkt.Payload.(func()); ok {
+		f()
 	}
 }
 
 // DepositFromEvent is Deposit from engine context (protocol handlers).
 func (ep *Endpoint) DepositFromEvent(dst, size int, kind string, payload any, onDeliver func()) {
-	sizes := ep.packets(size)
-	for i, sz := range sizes {
-		pkt := &nic.Packet{Src: ep.Node, Dst: dst, Size: sz, Kind: kind}
-		if i == len(sizes)-1 {
+	max := ep.layer.cfg.MaxPacket
+	for rem := size; ; {
+		sz, last := splitStep(rem, max)
+		pkt := ep.ni.NewPacket()
+		pkt.Src, pkt.Dst, pkt.Size, pkt.Kind = ep.Node, dst, sz, kind
+		if last {
 			pkt.Payload = payload
 			pkt.OnDeliver = onDeliver
 		}
 		ep.ni.PostFromEvent(pkt)
+		if last {
+			break
+		}
+		rem -= sz
 	}
 }
 
@@ -213,14 +241,20 @@ func (ep *Endpoint) SendInterruptFromEvent(dst, size int, kind string, payload a
 
 func (ep *Endpoint) sendInterruptPkts(dst, size int, kind string, payload any, post func(*nic.Packet)) {
 	dstEP := ep.layer.eps[dst]
-	sizes := ep.packets(size)
-	for i, sz := range sizes {
-		pkt := &nic.Packet{Src: ep.Node, Dst: dst, Size: sz, Kind: kind}
-		if i == len(sizes)-1 {
+	max := ep.layer.cfg.MaxPacket
+	for rem := size; ; {
+		sz, last := splitStep(rem, max)
+		pkt := ep.ni.NewPacket()
+		pkt.Src, pkt.Dst, pkt.Size, pkt.Kind = ep.Node, dst, sz, kind
+		if last {
 			pkt.Payload = payload
 			pkt.OnDeliver = func() { dstEP.interrupt(Msg{Src: ep.Node, Kind: kind, Size: size, Payload: payload}) }
 		}
 		post(pkt)
+		if last {
+			break
+		}
+		rem -= sz
 	}
 }
 
@@ -246,27 +280,32 @@ func (ep *Endpoint) RemoteFetch(p *sim.Proc, home, size int, kind string, tag an
 	}
 	var reply FetchReply
 	var done sim.Flag
-	req := &nic.Packet{
-		Src: ep.Node, Dst: home, Size: 16, Kind: kind + "-req",
-		FwService: ep.layer.cfg.Costs.NIFetchService,
-		FwHandler: func(homeNI *nic.NI, _ *nic.Packet) {
-			srv := ep.layer.eps[home].FetchServer
-			if srv == nil {
-				panic(fmt.Sprintf("vmmc: remote fetch at node %d with no FetchServer", home))
-			}
-			r := srv(FetchReq{Src: ep.Node, Tag: tag, Size: size})
-			sizes := ep.packets(r.Size)
-			for i, sz := range sizes {
-				rp := &nic.Packet{Src: home, Dst: ep.Node, Size: sz, Kind: kind + "-reply"}
-				if i == len(sizes)-1 {
-					rp.OnDeliver = func() {
-						reply = r
-						done.Set()
-					}
+	req := ep.ni.NewPacket()
+	req.Src, req.Dst, req.Size, req.Kind = ep.Node, home, 16, kind+"-req"
+	req.FwService = ep.layer.cfg.Costs.NIFetchService
+	req.FwHandler = func(homeNI *nic.NI, _ *nic.Packet) {
+		srv := ep.layer.eps[home].FetchServer
+		if srv == nil {
+			panic(fmt.Sprintf("vmmc: remote fetch at node %d with no FetchServer", home))
+		}
+		r := srv(FetchReq{Src: ep.Node, Tag: tag, Size: size})
+		max := ep.layer.cfg.MaxPacket
+		for rem := r.Size; ; {
+			sz, last := splitStep(rem, max)
+			rp := homeNI.NewPacket()
+			rp.Src, rp.Dst, rp.Size, rp.Kind = home, ep.Node, sz, kind+"-reply"
+			if last {
+				rp.OnDeliver = func() {
+					reply = r
+					done.Set()
 				}
-				homeNI.FirmwareSend(rp, true) // data DMA'd from host memory
 			}
-		},
+			homeNI.FirmwareSend(rp, true) // data DMA'd from host memory
+			if last {
+				break
+			}
+			rem -= sz
+		}
 	}
 	ep.ni.Post(p, req)
 	done.Wait(p)
