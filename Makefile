@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench-json bench-mem
+.PHONY: check build vet test race bench-smoke bench-json bench-mem bench-guard
 
 check: build vet test race
 
@@ -36,3 +36,9 @@ bench-mem:
 # suite comparison for the perf trajectory (see DESIGN.md §7).
 bench-json:
 	$(GO) run ./cmd/genima-bench -benchjson BENCH_sim.json -scale test -q
+
+# bench-guard fails if serial suite throughput regressed more than 25%
+# against the committed BENCH_sim.json baseline (best of two passes, so
+# one scheduling hiccup on a shared box does not fail the build).
+bench-guard:
+	$(GO) run ./cmd/genima-bench -benchguard BENCH_sim.json -q

@@ -38,6 +38,7 @@ var (
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchJSON  = flag.String("benchjson", "", "time the suite serial vs parallel and write a JSON summary to this file (skips the experiment output)")
+	benchGuard = flag.String("benchguard", "", "compare current serial throughput against this committed BENCH_sim.json and exit nonzero on a >25% regression")
 )
 
 func fatal(err error) {
@@ -67,6 +68,9 @@ type benchSummary struct {
 	// messaging hot paths.
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	BytesPerEvent  float64 `json:"bytes_per_event"`
+	// Note flags measurement caveats, e.g. "parallel_skipped_single_cpu"
+	// when the box cannot run a meaningful parallel pass.
+	Note string `json:"note,omitempty"`
 }
 
 // runBenchJSON times the full suite with Workers=1 and Workers=j and
@@ -110,7 +114,18 @@ func runBenchJSON(path string, scale genima.Scale, scaleName string, workers int
 	runtime.ReadMemStats(&msAfter)
 	allocs := msAfter.Mallocs - msBefore.Mallocs
 	bytes := msAfter.TotalAlloc - msBefore.TotalAlloc
-	parSec, _ := timeSuite(workers)
+	// On a single-CPU box the parallel pass measures the same serial
+	// work plus scheduler overhead; skip it and say so rather than
+	// recording a meaningless "speedup".
+	var parSec, speedup, eventsPerSecPar float64
+	note := ""
+	if runtime.NumCPU() == 1 {
+		note = "parallel_skipped_single_cpu"
+	} else {
+		parSec, _ = timeSuite(workers)
+		speedup = serialSec / parSec
+		eventsPerSecPar = float64(events) / parSec
+	}
 	sum := benchSummary{
 		Generated:          time.Now().UTC().Format(time.RFC3339),
 		GoVersion:          runtime.Version(),
@@ -120,12 +135,13 @@ func runBenchJSON(path string, scale genima.Scale, scaleName string, workers int
 		Workers:            workers,
 		SuiteSerialSeconds: serialSec,
 		SuiteParallelSecs:  parSec,
-		ParallelSpeedup:    serialSec / parSec,
+		ParallelSpeedup:    speedup,
 		SimEvents:          events,
 		EventsPerSecSerial: float64(events) / serialSec,
-		EventsPerSecPar:    float64(events) / parSec,
+		EventsPerSecPar:    eventsPerSecPar,
 		AllocsPerEvent:     float64(allocs) / float64(events),
 		BytesPerEvent:      float64(bytes) / float64(events),
+		Note:               note,
 	}
 	data, err := json.MarshalIndent(sum, "", "  ")
 	if err != nil {
@@ -135,14 +151,81 @@ func runBenchJSON(path string, scale genima.Scale, scaleName string, workers int
 		fatal(err)
 	}
 	if !*quietFlag {
-		fmt.Fprintf(os.Stderr, "serial %.2fs, parallel(%d) %.2fs, speedup %.2fx, %.2f allocs/event, %.0f B/event -> %s\n",
-			serialSec, workers, parSec, serialSec/parSec,
-			sum.AllocsPerEvent, sum.BytesPerEvent, path)
+		if note != "" {
+			fmt.Fprintf(os.Stderr, "serial %.2fs (%s), %.2f allocs/event, %.0f B/event -> %s\n",
+				serialSec, note, sum.AllocsPerEvent, sum.BytesPerEvent, path)
+		} else {
+			fmt.Fprintf(os.Stderr, "serial %.2fs, parallel(%d) %.2fs, speedup %.2fx, %.2f allocs/event, %.0f B/event -> %s\n",
+				serialSec, workers, parSec, serialSec/parSec,
+				sum.AllocsPerEvent, sum.BytesPerEvent, path)
+		}
+	}
+}
+
+// runBenchGuard is the CI regression gate: re-time the serial suite at
+// the committed baseline's scale and fail if events/sec dropped more
+// than 25% below the committed number. Two passes, best taken, so a
+// single scheduling hiccup on a shared CI box does not fail the build.
+func runBenchGuard(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var committed benchSummary
+	if err := json.Unmarshal(data, &committed); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", path, err))
+	}
+	if committed.EventsPerSecSerial <= 0 {
+		fatal(fmt.Errorf("%s has no events_per_sec_serial baseline", path))
+	}
+	scale := genima.BenchScale
+	if committed.Scale == "test" {
+		scale = genima.TestScale
+	}
+	cfg := genima.DefaultConfig()
+	cfg.Nodes = *nodesFlag
+	cfg.ProcsPerNode = *procsFlag
+	best := 0.0
+	for pass := 0; pass < 2; pass++ {
+		t0 := time.Now()
+		s, err := genima.RunSuite(cfg, genima.SuiteOptions{Scale: scale, Hardware: true, Workers: 1})
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(t0).Seconds()
+		var events uint64
+		for _, r := range s.Seq {
+			events += r.Events
+		}
+		for _, r := range s.HW {
+			events += r.Events
+		}
+		for _, rs := range s.SVM {
+			for _, r := range rs {
+				events += r.Events
+			}
+		}
+		if eps := float64(events) / elapsed; eps > best {
+			best = eps
+		}
+	}
+	ratio := best / committed.EventsPerSecSerial
+	if !*quietFlag || ratio < 0.75 {
+		fmt.Fprintf(os.Stderr, "bench-guard: %.0f events/sec vs committed %.0f (%.0f%%)\n",
+			best, committed.EventsPerSecSerial, 100*ratio)
+	}
+	if ratio < 0.75 {
+		fatal(fmt.Errorf("serial throughput regressed >25%% against %s", path))
 	}
 }
 
 func main() {
 	flag.Parse()
+	if *memProfile != "" {
+		// Record every allocation: the suite's remaining alloc count is
+		// small enough that sampled profiles are all noise.
+		runtime.MemProfileRate = 1
+	}
 	scale := genima.BenchScale
 	scaleName := "bench"
 	if *scaleFlag == "test" {
@@ -178,6 +261,10 @@ func main() {
 
 	if *benchJSON != "" {
 		runBenchJSON(*benchJSON, scale, scaleName, *jFlag)
+		return
+	}
+	if *benchGuard != "" {
+		runBenchGuard(*benchGuard)
 		return
 	}
 

@@ -2,6 +2,7 @@ package app
 
 import (
 	"fmt"
+	"strconv"
 
 	"genima/internal/core"
 	"genima/internal/hwdsm"
@@ -93,7 +94,7 @@ func RunSVMTraced(cfg topo.Config, kind core.Kind, a App, tracer func(nic.TraceE
 		nd, cpu := i/cfg.ProcsPerNode, i%cfg.ProcsPerNode
 		be := NewSVMBackend(sys, nd, cpu)
 		ctxs[i] = NewCtx(i, n, nil, be, ws, &cfg, mi)
-		eng.Go(fmt.Sprintf("%s-p%d", a.Name(), i), func(p *sim.Proc) {
+		eng.Go(a.Name()+"-p"+strconv.Itoa(i), func(p *sim.Proc) {
 			ctxs[i].p = p
 			a.Run(ctxs[i])
 			ctxs[i].Barrier() // flush all diffs to the homes
@@ -155,7 +156,7 @@ func RunHW(cfg topo.Config, a App) (*Result, *Workspace, error) {
 		i := i
 		be := sys.Backend(i)
 		ctxs[i] = NewCtx(i, n, nil, be, ws, &cfg, 0)
-		eng.Go(fmt.Sprintf("%s-hw%d", a.Name(), i), func(p *sim.Proc) {
+		eng.Go(a.Name()+"-hw"+strconv.Itoa(i), func(p *sim.Proc) {
 			ctxs[i].p = p
 			a.Run(ctxs[i])
 			ctxs[i].Barrier()

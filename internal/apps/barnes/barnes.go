@@ -49,6 +49,29 @@ type App struct {
 	leafStart  []int // leaf -> first body slot
 	slotBounds []int // leaf-aligned slot boundaries (Morton order)
 	slotLeaf   []int // slot -> (static) leaf
+
+	// Per-processor scratch, indexed by ctx.ID(). Safe to keep on the
+	// receiver: within a run the engine interleaves processors without
+	// true concurrency, and concurrent runs never share an App instance
+	// (see runSuiteParallel).
+	sc []procScratch
+}
+
+// frame is one level/cell pair on the force traversal stack.
+type frame struct{ level, cell int }
+
+// procScratch holds one processor's reusable buffers.
+type procScratch struct {
+	stack  []frame
+	bodies []int
+	zero   []float64
+}
+
+func (a *App) scratch(ctx *app.Ctx) *procScratch {
+	if len(a.sc) != ctx.NProc() {
+		a.sc = make([]procScratch, ctx.NProc())
+	}
+	return &a.sc[ctx.ID()]
 }
 
 // NewOriginal creates the unrestructured variant.
@@ -277,7 +300,11 @@ func (a *App) clearCells(ctx *app.Ctx) {
 	if hi <= lo {
 		return
 	}
-	zero := make([]float64, hi-lo)
+	sc := a.scratch(ctx)
+	if cap(sc.zero) < hi-lo {
+		sc.zero = make([]float64, hi-lo)
+	}
+	zero := sc.zero[:hi-lo] // never written: stays all-zero
 	ctx.CopyInF64(ws.Region("cmass"), lo, zero)
 	ctx.CopyInF64(ws.Region("ccx"), lo, zero)
 	ctx.CopyInF64(ws.Region("ccy"), lo, zero)
@@ -295,10 +322,13 @@ func (a *App) body(ctx *app.Ctx, i int) (x, y, m float64) {
 	return ctx.F64(b, base), ctx.F64(b, base+1), ctx.F64(b, base+2)
 }
 
-// myBodies returns this processor's body slots.
+// myBodies returns this processor's body slots (valid until the
+// processor's next myBodies call).
 func (a *App) myBodies(ctx *app.Ctx) []int {
 	id, np := ctx.ID(), ctx.NProc()
-	var out []int
+	sc := a.scratch(ctx)
+	out := sc.bodies[:0]
+	defer func() { sc.bodies = out }()
 	if a.variant == Original {
 		// Interleaved ownership: scattered writes.
 		for i := id; i < a.n; i += np {
@@ -440,8 +470,9 @@ func (a *App) force(ctx *app.Ctx, x, y float64) (fx, fy float64, visited int) {
 	ws := ctx.Workspace()
 	cmass, ccx, ccy := ws.Region("cmass"), ws.Region("ccx"), ws.Region("ccy")
 
-	type frame struct{ level, cell int }
-	stack := []frame{{0, 0}}
+	sc := a.scratch(ctx)
+	stack := append(sc.stack[:0], frame{0, 0})
+	defer func() { sc.stack = stack }()
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]

@@ -18,6 +18,34 @@ type App struct {
 	m    int // log2(n); must be even
 	n    int // points
 	side int // matrix side = 2^(m/2)
+
+	sc []procScratch // per-processor scratch, reused across phases
+}
+
+// procScratch holds one processor's reusable buffers. Every buffer is
+// fully overwritten before it is read, so reuse cannot leak state
+// between phases or runs.
+type procScratch struct {
+	block []float64
+	seg   []float64
+	row   []float64
+}
+
+func (a *App) scratch(ctx *app.Ctx) *procScratch {
+	if len(a.sc) != ctx.NProc() {
+		a.sc = make([]procScratch, ctx.NProc())
+	}
+	return &a.sc[ctx.ID()]
+}
+
+// grow returns s resized to n elements, reallocating only when the
+// capacity is insufficient.
+func grow(s *[]float64, n int) []float64 {
+	if cap(*s) < n {
+		*s = make([]float64, n)
+	}
+	*s = (*s)[:n]
+	return *s
 }
 
 // New creates an n = 2^m point FFT (m must be even).
@@ -96,8 +124,9 @@ func (a *App) transpose(ctx *app.Ctx, src, dst memory.Region) {
 		return
 	}
 	side := a.side
-	block := make([]float64, myRows*2*side) // dst rows r0..r1, full width
-	seg := make([]float64, 2*myRows)
+	sc := a.scratch(ctx)
+	block := grow(&sc.block, myRows*2*side) // dst rows r0..r1, full width
+	seg := grow(&sc.seg, 2*myRows)
 	for c := 0; c < side; c++ {
 		// src row c, columns r0..r1 — contiguous in src.
 		ctx.CopyOutF64(src, 2*(c*side+r0), seg)
@@ -118,7 +147,7 @@ func (a *App) transpose(ctx *app.Ctx, src, dst memory.Region) {
 func (a *App) fftRows(ctx *app.Ctx, reg memory.Region, twiddle bool) {
 	r0, r1 := a.rowRange(ctx)
 	side := a.side
-	row := make([]float64, 2*side)
+	row := grow(&a.scratch(ctx).row, 2*side)
 	for r := r0; r < r1; r++ {
 		ctx.CopyOutF64(reg, 2*r*side, row)
 		fftInPlace(row)

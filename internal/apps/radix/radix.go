@@ -73,6 +73,8 @@ func (a *App) Run(ctx *app.Ctx) {
 	counts := make([]int32, R)
 	offsets := make([]int, R)
 	all := make([]int32, np*R)
+	bucketed := make([]int32, hi-lo)
+	cursor := make([]int, R)
 
 	for pass := 0; pass < a.passes; pass++ {
 		src, dst := bufs[pass%2], bufs[(pass+1)%2]
@@ -111,16 +113,25 @@ func (a *App) Run(ctx *app.Ctx) {
 		// sharing remains at every span boundary — the false sharing
 		// that keeps Radix data- and barrier-bound — but the writes are
 		// bulk, not single words.
-		buckets := make([][]int32, R)
+		// Counting placement into one flat buffer: cursor[d] walks span
+		// d, so the bucketing is stable and allocation-free.
+		start := 0
+		for d := 0; d < R; d++ {
+			cursor[d] = start
+			start += int(counts[d])
+		}
 		for _, k := range local {
 			d := (k >> shift) & (R - 1)
-			buckets[d] = append(buckets[d], k)
+			bucketed[cursor[d]] = k
+			cursor[d]++
 		}
+		begin := 0
 		for d := 0; d < R; d++ {
-			if len(buckets[d]) == 0 {
-				continue
+			end := cursor[d] // == span start + counts[d]
+			if end > begin {
+				ctx.CopyInI32(dst, offsets[d], bucketed[begin:end])
 			}
-			ctx.CopyInI32(dst, offsets[d], buckets[d])
+			begin = end
 		}
 		// The real permutation does address arithmetic, bounds checks
 		// and key movement per element (~20 ops).

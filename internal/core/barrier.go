@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
+
 	"genima/internal/sim"
+	"genima/internal/vmmc"
 )
 
 // Barrier synchronization.
@@ -20,7 +23,13 @@ import (
 // all flags arrive — no interrupts anywhere. Invalidations (and their
 // mprotect) are applied locally before leaving.
 
+// barArriveMsg is an arrival record: a DW flag deposit (one pooled
+// record fanned out to all peers, refcounted, freed at the last
+// delivery) or a Base arrival sent to the master (freed there after
+// aggregation).
 type barArriveMsg struct {
+	owner     *Node // pool the record returns to
+	refs      int
 	src       int
 	seq       int
 	vc        []uint64
@@ -35,7 +44,13 @@ func (m *barArriveMsg) wireSize() int {
 	return n
 }
 
+// barReleaseMsg is the master's release (Base): one pooled record
+// shared by all Nodes deliveries; each leader decrements refs after
+// applying it and the last one frees it. The interval union is swapped
+// out of the master's epoch state, not copied.
 type barReleaseMsg struct {
+	owner     *Node
+	refs      int
 	seq       int
 	vc        []uint64
 	intervals []*interval
@@ -49,44 +64,58 @@ func (m *barReleaseMsg) wireSize() int {
 	return n
 }
 
-// masterBarState is the master's per-epoch aggregation (Base).
-type masterBarState struct {
-	arrived   int
-	vc        []uint64
-	intervals []*interval
+// barEpoch is one slot of the per-node barrier epoch ring, replacing
+// seven per-seq maps. A slot is recycled when a new epoch claims it;
+// the embedded Flag/Counter Reset guards panic if the old epoch still
+// had parked waiters (i.e. the 4-slot window was violated).
+type barEpoch struct {
+	seq   int         // epoch using this slot; -1 = never used
+	count sim.Counter // DW: arrival flags deposited
+	vc    []uint64    // DW: element-wise max vc of arrivals
+	flag  sim.Flag    // Base: release arrived
+	rel   *barReleaseMsg
+
+	// Intra-node arrival bookkeeping.
+	localArrived int
+	localDone    sim.Flag
+
+	// Base master aggregation (node 0 only).
+	mArrived int
+	mVC      []uint64
+	mIvs     []*interval
 }
 
-// selfIntervalsSince returns the intervals this node created with
-// seq > from (its contribution to the barrier exchange).
-func (n *Node) selfIntervalsSince(from uint64) []*interval {
-	return n.intervalsAfter(n.ID, from, n.vc[n.ID])
-}
-
-func (n *Node) barCounter(seq int) *sim.Counter {
-	ctr := n.barCount[seq]
-	if ctr == nil {
-		ctr = &sim.Counter{}
-		n.barCount[seq] = ctr
+func (e *barEpoch) reset(seq int) {
+	e.seq = seq
+	e.count.Reset()
+	for i := range e.vc {
+		e.vc[i] = 0
 	}
-	return ctr
+	e.flag.Reset()
+	e.rel = nil
+	e.localArrived = 0
+	e.localDone.Reset()
+	e.mArrived = 0
+	for i := range e.mVC {
+		e.mVC[i] = 0
+	}
+	e.mIvs = e.mIvs[:0]
 }
 
-func (n *Node) barVCFor(seq int) []uint64 {
-	v := n.barVC[seq]
-	if v == nil {
-		v = make([]uint64, n.sys.Cfg.Nodes)
-		n.barVC[seq] = v
+// barEpochAt returns the epoch record for barrier seq, claiming (and
+// recycling) its ring slot on first use. At most two epochs are live at
+// once — a slow node still inside epoch k while fast peers deposit k+1
+// flags — so by the time epoch k+4 claims k's slot, k has fully
+// drained (every local waiter of k resumed before arriving at k+1).
+func (n *Node) barEpochAt(seq int) *barEpoch {
+	e := &n.barEpochs[seq&3]
+	if e.seq != seq {
+		if e.seq > seq {
+			panic(fmt.Sprintf("core: barrier epoch %d claims slot still held by %d at node %d", seq, e.seq, n.ID))
+		}
+		e.reset(seq)
 	}
-	return v
-}
-
-func (n *Node) barFlagFor(seq int) *sim.Flag {
-	f := n.barFlag[seq]
-	if f == nil {
-		f = &sim.Flag{}
-		n.barFlag[seq] = f
-	}
-	return f
+	return e
 }
 
 // Barrier blocks the calling processor until all processors in the
@@ -94,15 +123,11 @@ func (n *Node) barFlagFor(seq int) *sim.Flag {
 // that was protocol processing rather than wait (for Table 2).
 func (n *Node) Barrier(p *sim.Proc) sim.Time {
 	seq := n.barSeq
-	ls := n.barLocal[seq]
-	if ls == nil {
-		ls = &barLocalSync{}
-		n.barLocal[seq] = ls
-	}
-	ls.arrived++
-	if ls.arrived < n.sys.Cfg.ProcsPerNode {
+	e := n.barEpochAt(seq)
+	e.localArrived++
+	if e.localArrived < n.sys.Cfg.ProcsPerNode {
 		// Not the node leader: wait for the leader to finish the epoch.
-		ls.done.Wait(p)
+		e.localDone.Wait(p)
 		return 0
 	}
 	// Node leader (last local arriver): advance the node's epoch and
@@ -115,8 +140,7 @@ func (n *Node) Barrier(p *sim.Proc) sim.Time {
 		proto = n.barrierBase(p, seq)
 	}
 	n.Acct.BarrierProto += proto
-	delete(n.barLocal, seq)
-	ls.done.Set()
+	e.localDone.Set()
 	return proto
 }
 
@@ -124,44 +148,45 @@ func (n *Node) Barrier(p *sim.Proc) sim.Time {
 func (n *Node) barrierDW(p *sim.Proc, seq int) sim.Time {
 	t0 := p.Now()
 	n.closeInterval(p) // diffs + eager notices
-	// Record own arrival locally, then deposit the flag everywhere.
-	myVC := append([]uint64(nil), n.vc...)
-	local := n.barVCFor(seq)
-	copy(local, maxVec(local, myVC))
-	n.barCounter(seq).Add(1)
-	for dst := 0; dst < n.sys.Cfg.Nodes; dst++ {
-		if dst == n.ID {
-			continue
+	// Record own arrival locally, then deposit the flag everywhere: one
+	// pooled record fanned out to every peer, freed at last delivery.
+	e := n.barEpochAt(seq)
+	vecMergeMax(e.vc, n.vc)
+	e.count.Add(1)
+	if n.sys.Cfg.Nodes > 1 {
+		m := n.getBarArr()
+		m.src, m.seq = n.ID, seq
+		copy(m.vc, n.vc)
+		m.refs = n.sys.Cfg.Nodes - 1
+		for dst := 0; dst < n.sys.Cfg.Nodes; dst++ {
+			if dst == n.ID {
+				continue
+			}
+			n.ep.DepositTo(p, dst, m.wireSize(), "bar-flag", m, &n.sys.barFlagDel)
 		}
-		dstNode := n.sys.Nodes[dst]
-		msg := &barArriveMsg{src: n.ID, seq: seq, vc: myVC}
-		n.ep.Deposit(p, dst, msg.wireSize(), "bar-flag", nil, func() {
-			dstNode.depositBarFlag(msg)
-		})
 	}
 	protoSoFar := p.Now() - t0
 
 	// Wait for every node's flag (pure wait time).
-	n.barCounter(seq).WaitFor(p, uint64(n.sys.Cfg.Nodes))
+	e.count.WaitFor(p, uint64(n.sys.Cfg.Nodes))
 
-	// Apply invalidations for everything the barrier saw. Waiting for
-	// in-flight notices counts as protocol time too: it is
+	// Apply invalidations for everything the barrier saw (e.vc is
+	// stable once the counter reaches Nodes: no further deposits for
+	// this epoch can arrive, and the slot outlives the leader). Waiting
+	// for in-flight notices counts as protocol time too: it is
 	// communication the protocol deferred to the barrier.
 	t1 := p.Now()
-	target := append([]uint64(nil), n.barVCFor(seq)...)
-	n.waitNotices(p, target)
-	n.applyUpTo(p, target)
-	delete(n.barCount, seq)
-	delete(n.barVC, seq)
+	n.waitNotices(p, e.vc)
+	n.applyUpTo(p, e.vc)
 	return protoSoFar + (p.Now() - t1)
 }
 
 // depositBarFlag records a remote node's barrier arrival (engine
 // context; deposited by the NI).
 func (n *Node) depositBarFlag(m *barArriveMsg) {
-	v := n.barVCFor(m.seq)
-	copy(v, maxVec(v, m.vc))
-	n.barCounter(m.seq).Add(1)
+	e := n.barEpochAt(m.seq)
+	vecMergeMax(e.vc, m.vc)
+	e.count.Add(1)
 }
 
 // barrierBase is the centralized interrupt-driven barrier.
@@ -170,65 +195,43 @@ func (n *Node) barrierBase(p *sim.Proc, seq int) sim.Time {
 	prevSelf := n.lastBarSelfSeq
 	n.closeInterval(p)
 	n.lastBarSelfSeq = n.vc[n.ID]
-	arrive := &barArriveMsg{
-		src:       n.ID,
-		seq:       seq,
-		vc:        append([]uint64(nil), n.vc...),
-		intervals: n.selfIntervalsSince(prevSelf),
-	}
+	arrive := n.getBarArr()
+	arrive.src, arrive.seq = n.ID, seq
+	copy(arrive.vc, n.vc)
+	arrive.intervals = n.appendIntervalsAfter(arrive.intervals, n.ID, prevSelf, n.vc[n.ID])
 	if n.ID == 0 {
-		n.mb.Send(localMsg("bar-arrive", arrive))
+		n.pm.post(localMsg(vmmc.MsgBarArrive, arrive))
 	} else {
-		n.ep.SendInterrupt(p, 0, arrive.wireSize(), "bar-arrive", arrive)
+		n.ep.SendInterrupt(p, 0, arrive.wireSize(), vmmc.MsgBarArrive, arrive)
 	}
 	protoSoFar := p.Now() - t0
 
 	// Wait for the master's release (wait time).
-	f := n.barFlagFor(seq)
-	f.Wait(p)
-	rel := n.barPayload[seq]
-	delete(n.barFlag, seq)
-	delete(n.barPayload, seq)
+	e := n.barEpochAt(seq)
+	e.flag.Wait(p)
+	rel := e.rel
 
 	// Apply the released coherence information (protocol time).
 	t2 := p.Now()
-	for _, iv := range rel {
+	for _, iv := range rel.intervals {
 		if iv.Src != n.ID {
 			n.recordInterval(iv)
 		}
 	}
-	n.applyUpTo(p, n.barRelVC[seq])
-	delete(n.barRelVC, seq)
+	n.applyUpTo(p, rel.vc)
+	rel.refs--
+	if rel.refs == 0 {
+		rel.owner.putBarRel(rel)
+	}
 	return protoSoFar + (p.Now() - t2)
 }
 
-// handleBarArrive runs on the master's protocol process.
-func (n *Node) handleBarArrive(p *sim.Proc, m *barArriveMsg) {
-	st := n.masterBar[m.seq]
-	if st == nil {
-		st = &masterBarState{vc: make([]uint64, n.sys.Cfg.Nodes)}
-		n.masterBar[m.seq] = st
-	}
-	st.arrived++
-	copy(st.vc, maxVec(st.vc, m.vc))
-	st.intervals = append(st.intervals, m.intervals...)
-	if st.arrived < n.sys.Cfg.Nodes {
-		return
-	}
-	delete(n.masterBar, m.seq)
-	rel := &barReleaseMsg{seq: m.seq, vc: st.vc, intervals: st.intervals}
-	for dst := 0; dst < n.sys.Cfg.Nodes; dst++ {
-		if dst == n.ID {
-			n.handleBarRelease(rel)
-			continue
-		}
-		n.ep.SendInterrupt(p, dst, rel.wireSize(), "bar-release", rel)
-	}
-}
+// Barrier arrival aggregation at the master runs on the protocol
+// machine: see barArrive/pmBarRel in handler.go.
 
 // handleBarRelease delivers the release to the waiting node leader.
 func (n *Node) handleBarRelease(m *barReleaseMsg) {
-	n.barPayload[m.seq] = m.intervals
-	n.barRelVC[m.seq] = m.vc
-	n.barFlagFor(m.seq).Set()
+	e := n.barEpochAt(m.seq)
+	e.rel = m
+	e.flag.Set()
 }

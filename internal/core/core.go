@@ -96,6 +96,17 @@ type System struct {
 	Nodes []*Node
 
 	locks map[int]*lockMeta // Base-path lock directory metadata
+
+	// Shared packet deliverers that must map a destination id to a Node.
+	noticeDel  noticeDeliver
+	grantDel   grantDeliver
+	barFlagDel barFlagDeliver
+
+	// Interval arena: intervals live for the whole run (they stay in
+	// every node's log), so they are carved out of chunked backing
+	// arrays instead of being allocated one by one.
+	ivChunk []interval
+	ivPages []int32
 }
 
 // New creates a protocol system over a fresh communication layer. The
@@ -110,6 +121,9 @@ func New(eng *sim.Engine, cfg *topo.Config, kind Kind, space *memory.Space) *Sys
 		Layer: vmmc.New(eng, cfg),
 		locks: map[int]*lockMeta{},
 	}
+	s.noticeDel.s = s
+	s.grantDel.s = s
+	s.barFlagDel.s = s
 	s.Nodes = make([]*Node, cfg.Nodes)
 	for i := range s.Nodes {
 		s.Nodes[i] = newNode(s, i)
@@ -117,9 +131,29 @@ func New(eng *sim.Engine, cfg *topo.Config, kind Kind, space *memory.Space) *Sys
 	return s
 }
 
-// Start finalizes per-page state (after all allocations) and launches
-// the Base protocol processes. Call exactly once, before application
-// processors run.
+// newInterval allocates an interval with room for npages page ids from
+// the arena. The chunk pointers stay valid when a new chunk starts.
+func (s *System) newInterval(src int, seq uint64, npages int) *interval {
+	if len(s.ivChunk) == cap(s.ivChunk) {
+		s.ivChunk = make([]interval, 0, 256)
+	}
+	s.ivChunk = append(s.ivChunk, interval{Src: src, Seq: seq})
+	iv := &s.ivChunk[len(s.ivChunk)-1]
+	if cap(s.ivPages)-len(s.ivPages) < npages {
+		c := 4096
+		if npages > c {
+			c = npages
+		}
+		s.ivPages = make([]int32, 0, c)
+	}
+	off := len(s.ivPages)
+	s.ivPages = s.ivPages[:off+npages]
+	iv.Pages = s.ivPages[off : off+npages : off+npages]
+	return iv
+}
+
+// Start finalizes per-page state (after all allocations). Call exactly
+// once, before application processors run.
 func (s *System) Start() {
 	for _, n := range s.Nodes {
 		n.start()
@@ -168,51 +202,64 @@ type Node struct {
 	Mem *memory.NodeMem
 	ep  *vmmc.Endpoint
 
-	state    []pageState
-	inFlight map[int]*sim.Flag // page-id -> fetch completion
-	homeWait map[int]*sim.WaitQ
+	state     []pageState
+	fetching  []bool      // per page: a fetch is in flight (collapses faults)
+	fetchQ    []sim.WaitQ // per page: waiters on the in-flight fetch
+	homeWaitQ []sim.WaitQ // per page homed here: accessors waiting on version
 
-	vc      []uint64       // applied interval seq per source node
-	arrived []*sim.Counter // deposited notice count per source node
-	log     [][]*interval  // received intervals per source, indexed seq-1
+	vc      []uint64      // applied interval seq per source node
+	arrived []sim.Counter // deposited notice count per source node
+	log     [][]*interval // received intervals per source, indexed seq-1
 
-	need    [][]uint64 // per page: required home version per writer node
-	copyVer [][]uint64 // per page: home version row at fetch time (nil = never fetched)
-	homeVer [][]uint64 // per page homed here: applied interval seq per writer
+	need       vecTable // per page: required home version per writer node
+	copyVer    vecTable // per page: home version row at fetch time
+	copyVerSet []bool   // per page: copyVer row is meaningful (fetched at least once)
+	homeVer    vecTable // per page homed here: applied interval seq per writer
 
-	dirty  map[int]struct{} // pages written in the open interval
-	ivGate *sim.Gate        // serializes interval close within the node
+	dirtySet  []bool    // per page: written in the open interval
+	dirtyList []int32   // the dirty pages, unsorted
+	ivGate    *sim.Gate // serializes interval close within the node
 
 	pendingReqs map[int][]pendingPage // Base: queued page requests per page
 
 	locks map[int]*nodeLock
 
-	// Base protocol process.
-	mb        sim.Mailbox[vmmc.Msg]
-	protoProc *sim.Proc
+	// The floating protocol process: a resumable state machine (see
+	// handler.go), not a goroutine.
+	pm protoMachine
 
 	// Interrupt scheduling perturbation, charged round-robin to the
 	// node's compute processors at their next compute step.
 	steal  []sim.Time
 	victim int
 
-	// Barrier state.
+	// Barrier state: a ring of epoch records. At most two epochs are
+	// ever live at once (a slow node still in epoch k while fast nodes
+	// deposit k+1 flags); four slots leave slack, and the seq tags plus
+	// Flag/Counter Reset guards catch any window violation.
 	barSeq         int
-	barCount       map[int]*sim.Counter    // barrier seq -> arrival counter (DW flags)
-	barVC          map[int][]uint64        // barrier seq -> element-wise max vc of arrivals
-	barFlag        map[int]*sim.Flag       // barrier seq -> node released (Base)
-	barPayload     map[int][]*interval     // Base: intervals delivered with release
-	barRelVC       map[int][]uint64        // Base: release vector clock
-	barLocal       map[int]*barLocalSync   // intra-node arrival bookkeeping
-	masterBar      map[int]*masterBarState // Base master aggregation (node 0)
-	lastBarSelfSeq uint64                  // own intervals already exchanged at barriers
+	barEpochs      [4]barEpoch
+	lastBarSelfSeq uint64 // own intervals already exchanged at barriers
+
+	// Free lists for pooled protocol records (see pool.go) and scratch
+	// storage reused across installFetched calls.
+	pageReqFree []*pageReqMsg
+	fpFree      []*fetchPayload
+	diffFree    []*diffMsg
+	lockReqFree []*lockReqMsg
+	grantFree   []*lockGrant
+	vcMsgFree   []*vcMsg
+	barArrFree  []*barArriveMsg
+	barRelFree  []*barReleaseMsg
+	runDepFree  []*runDep
+	verMarkFree []*verMark
+	sgDepFree   []*sgDep
+	invFree     [][]int
+	lockChunk   []nodeLock // arena for nodeLock records (see Node.lock)
+	modsRuns    []memory.Run
+	modsBuf     []byte
 
 	Acct stats.SVMAccounting
-}
-
-type barLocalSync struct {
-	arrived int
-	done    sim.Flag
 }
 
 func newNode(s *System, id int) *Node {
@@ -220,53 +267,66 @@ func newNode(s *System, id int) *Node {
 		sys:         s,
 		ID:          id,
 		ep:          s.Layer.Endpoint(id),
-		inFlight:    map[int]*sim.Flag{},
-		homeWait:    map[int]*sim.WaitQ{},
-		vc:          make([]uint64, s.Cfg.Nodes),
-		arrived:     make([]*sim.Counter, s.Cfg.Nodes),
+		arrived:     make([]sim.Counter, s.Cfg.Nodes),
 		log:         make([][]*interval, s.Cfg.Nodes),
-		dirty:       map[int]struct{}{},
 		ivGate:      sim.NewGate(1),
 		pendingReqs: map[int][]pendingPage{},
 		locks:       map[int]*nodeLock{},
 		steal:       make([]sim.Time, s.Cfg.ProcsPerNode),
-		barCount:    map[int]*sim.Counter{},
-		barVC:       map[int][]uint64{},
-		barFlag:     map[int]*sim.Flag{},
-		barPayload:  map[int][]*interval{},
-		barRelVC:    map[int][]uint64{},
-		barLocal:    map[int]*barLocalSync{},
-		masterBar:   map[int]*masterBarState{},
 	}
-	for i := range n.arrived {
-		n.arrived[i] = &sim.Counter{}
+	// One backing array serves the node vector clock and the barrier
+	// epochs' vectors (nine fixed-size vectors; full slice caps keep
+	// them from spilling into each other).
+	nn := s.Cfg.Nodes
+	vecs := make([]uint64, (1+2*len(n.barEpochs))*nn)
+	cut := func() []uint64 {
+		v := vecs[:nn:nn]
+		vecs = vecs[nn:]
+		return v
 	}
+	n.vc = cut()
+	for i := range n.barEpochs {
+		n.barEpochs[i].seq = -1
+		n.barEpochs[i].vc = cut()
+		n.barEpochs[i].mVC = cut()
+	}
+	n.pm.n = n
 	n.ep.Perturb = n.perturb
-	n.ep.InterruptSink = func(m vmmc.Msg) { n.mb.Send(m) }
+	n.ep.Sink = &n.pm
 	return n
 }
 
 func (n *Node) start() {
 	np := n.sys.Space.NPages()
+	nodes := n.sys.Cfg.Nodes
 	n.Mem = memory.NewNodeMem(n.sys.Space)
 	n.state = make([]pageState, np)
-	n.need = make([][]uint64, np)
-	n.copyVer = make([][]uint64, np)
-	n.homeVer = make([][]uint64, np)
+	// Per-page slices share backing arrays by element type (full slice
+	// caps prevent cross-spill): three bool tables, two WaitQ tables,
+	// and the three per-page version tables.
+	bools := make([]bool, 3*np)
+	n.fetching = bools[0:np:np]
+	n.copyVerSet = bools[np : 2*np : 2*np]
+	n.dirtySet = bools[2*np : 3*np : 3*np]
+	qs := make([]sim.WaitQ, 2*np)
+	n.fetchQ = qs[0:np:np]
+	n.homeWaitQ = qs[np : 2*np : 2*np]
+	rows := make([]uint64, 3*np*nodes)
+	n.need = vecTable{nodes: nodes, a: rows[0 : np*nodes : np*nodes]}
+	n.copyVer = vecTable{nodes: nodes, a: rows[np*nodes : 2*np*nodes : 2*np*nodes]}
+	n.homeVer = vecTable{nodes: nodes, a: rows[2*np*nodes : 3*np*nodes : 3*np*nodes]}
 	for p := 0; p < np; p++ {
-		n.need[p] = make([]uint64, n.sys.Cfg.Nodes)
 		if n.sys.Space.Home(p) == n.ID {
-			n.homeVer[p] = make([]uint64, n.sys.Cfg.Nodes)
 			n.state[p] = pageValid // the home copy is always materialized
 		}
 	}
 	if n.sys.Feat.RF {
 		n.ep.FetchServer = n.serveFetch
 	}
-	// The floating protocol process exists in all configurations (some
-	// residual interrupt-class traffic exists until GeNIMA), but under
-	// GeNIMA it never receives a message.
-	n.protoProc = n.sys.Eng.Go(fmt.Sprintf("proto-%d", n.ID), n.protoLoop)
+	// The floating protocol process (n.pm) exists in all configurations
+	// (some residual interrupt-class traffic exists until GeNIMA), but
+	// under GeNIMA it never receives a message. As a state machine it
+	// needs no startup event: it runs only when a message arrives.
 }
 
 // perturb charges interrupt scheduling perturbation to the next victim
@@ -297,12 +357,7 @@ func (n *Node) PageBytes(page int) []byte {
 // needSatisfied reports whether verRow covers this node's requirements
 // for page p.
 func (n *Node) needSatisfied(p int, verRow []uint64) bool {
-	for src, want := range n.need[p] {
-		if verRow[src] < want {
-			return false
-		}
-	}
-	return true
+	return vecCovered(n.need.row(p), verRow)
 }
 
 // applyIntervalMeta applies a write notice: records the page requirement
@@ -314,13 +369,13 @@ func (n *Node) needSatisfied(p int, verRow []uint64) bool {
 func (n *Node) applyIntervalMeta(iv *interval, invalidate *[]int) {
 	for _, p32 := range iv.Pages {
 		p := int(p32)
-		if n.need[p][iv.Src] < iv.Seq {
-			n.need[p][iv.Src] = iv.Seq
+		if row := n.need.row(p); row[iv.Src] < iv.Seq {
+			row[iv.Src] = iv.Seq
 		}
 		if n.sys.Space.Home(p) == n.ID {
 			continue
 		}
-		if n.state[p] == pageValid && (n.copyVer[p] == nil || n.copyVer[p][iv.Src] < iv.Seq) {
+		if n.state[p] == pageValid && (!n.copyVerSet[p] || n.copyVer.row(p)[iv.Src] < iv.Seq) {
 			n.state[p] = pageInvalid
 			*invalidate = append(*invalidate, p)
 		}
@@ -330,20 +385,36 @@ func (n *Node) applyIntervalMeta(iv *interval, invalidate *[]int) {
 	}
 }
 
-// recordInterval stores a received interval in the log.
+// recordInterval stores a received interval in the log. The log only
+// ever grows, so extending within capacity just re-slices (the tail is
+// still zero from the backing array's make); growth jumps geometrically
+// rather than entry by entry.
 func (n *Node) recordInterval(iv *interval) {
 	lg := n.log[iv.Src]
-	for uint64(len(lg)) < iv.Seq {
-		lg = append(lg, nil)
+	if uint64(len(lg)) < iv.Seq {
+		if uint64(cap(lg)) < iv.Seq {
+			newCap := uint64(cap(lg)) * 4
+			if newCap < 64 {
+				newCap = 64
+			}
+			if newCap < iv.Seq {
+				newCap = iv.Seq
+			}
+			ng := make([]*interval, iv.Seq, newCap)
+			copy(ng, lg)
+			lg = ng
+		} else {
+			lg = lg[:iv.Seq]
+		}
 	}
 	lg[iv.Seq-1] = iv
 	n.log[iv.Src] = lg
 }
 
-// intervalsAfter returns this node's known intervals from src in
-// (from, to], for piggybacking on Base lock grants.
-func (n *Node) intervalsAfter(src int, from, to uint64) []*interval {
-	var out []*interval
+// appendIntervalsAfter appends this node's known intervals from src in
+// (from, to] onto out (piggybacked on Base lock grants and barrier
+// arrivals), reusing out's backing array.
+func (n *Node) appendIntervalsAfter(out []*interval, src int, from, to uint64) []*interval {
 	lg := n.log[src]
 	for s := from + 1; s <= to; s++ {
 		if s-1 < uint64(len(lg)) && lg[s-1] != nil {
@@ -351,4 +422,12 @@ func (n *Node) intervalsAfter(src int, from, to uint64) []*interval {
 		}
 	}
 	return out
+}
+
+// markDirty registers a page in the node's open write interval.
+func (n *Node) markDirty(pg int) {
+	if !n.dirtySet[pg] {
+		n.dirtySet[pg] = true
+		n.dirtyList = append(n.dirtyList, int32(pg))
+	}
 }

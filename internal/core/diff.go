@@ -1,10 +1,11 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"genima/internal/memory"
 	"genima/internal/sim"
+	"genima/internal/vmmc"
 )
 
 // Interval close and diff propagation.
@@ -18,16 +19,59 @@ import (
 // diff is computed, followed by a version marker — no home processor
 // involvement (which is why DD requires remote fetch with retry).
 
-// diffMsg is a packed diff for one page (Base path).
+// diffMsg is the diff storage for one page: pooled, with the run list
+// and the copied run bytes reused across flushes. On the packed (Base)
+// path it travels whole and the home frees it after application; on the
+// DD path the per-run deposits alias buf and the version marker (which
+// per-pair FIFO delivers last) frees it.
 type diffMsg struct {
 	page int
 	src  int
 	seq  uint64
 	runs []memory.Run
+	buf  []byte // backing storage for the runs' data
 }
 
 func (d *diffMsg) wireSize() int {
 	return diffMsgOverhead + memory.RunsBytes(d.runs) + runHeader*len(d.runs)
+}
+
+// runDep is one direct-diff run deposit (pooled, freed at delivery).
+// Its run data aliases the owning flush's diffMsg buffer.
+type runDep struct {
+	owner *Node // origin node (pool + Space access)
+	pg    int
+	run   memory.Run
+}
+
+// verMark is a direct-diff version marker (pooled, freed at delivery);
+// it carries the diffMsg to release once all runs have landed.
+type verMark struct {
+	origin *Node
+	home   *Node
+	pg     int
+	seq    uint64
+	d      *diffMsg // nil when the flush had no twin (version-only)
+}
+
+// sgDep is a pooled scatter-gather diff deposit: its ApplySG hook runs
+// in the home NI's firmware when the last fragment lands, replacing the
+// per-flush closure.
+type sgDep struct {
+	origin *Node
+	home   *Node
+	pg     int
+	src    int
+	seq    uint64
+	d      *diffMsg
+}
+
+// ApplySG implements vmmc.SGApplier (engine context, home NI firmware).
+func (m *sgDep) ApplySG() {
+	memory.ApplyRuns(m.origin.sys.Space.HomeCopy(m.pg), m.d.runs)
+	m.home.bumpVersion(m.pg, m.src, m.seq)
+	m.origin.putDiff(m.d)
+	m.origin.putSGDep(m)
 }
 
 // closeInterval closes the node's open write interval: computes diffs
@@ -44,25 +88,24 @@ func (n *Node) closeInterval(p *sim.Proc) *interval {
 	// granting a lock) must not close overlapping intervals, and write
 	// notices must leave the node in sequence order.
 	n.ivGate.Acquire(p)
-	if len(n.dirty) == 0 {
+	if len(n.dirtyList) == 0 {
 		n.ivGate.Release()
 		return nil
 	}
 	// Snapshot and reset the dirty set before any yield: writes during
 	// the flush start a fresh interval.
-	pages := make([]int32, 0, len(n.dirty))
-	for pg := range n.dirty {
-		pages = append(pages, int32(pg))
-	}
-	n.dirty = map[int]struct{}{}
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
-
+	slices.Sort(n.dirtyList)
 	seq := n.vc[n.ID] + 1
 	n.vc[n.ID] = seq
-	iv := &interval{Src: n.ID, Seq: seq, Pages: pages}
+	iv := n.sys.newInterval(n.ID, seq, len(n.dirtyList))
+	copy(iv.Pages, n.dirtyList)
+	for _, pg := range n.dirtyList {
+		n.dirtySet[pg] = false
+	}
+	n.dirtyList = n.dirtyList[:0]
 	n.recordInterval(iv)
 
-	for _, pg32 := range pages {
+	for _, pg32 := range iv.Pages {
 		n.flushPage(p, int(pg32), seq)
 	}
 
@@ -83,61 +126,64 @@ func (n *Node) flushPage(p *sim.Proc, pg int, seq uint64) {
 	// other writer's notice) must not return a home version predating
 	// this flush, or we would lose our own writes: record the
 	// requirement against ourselves too.
-	if n.need[pg][n.ID] < seq {
-		n.need[pg][n.ID] = seq
+	if row := n.need.row(pg); row[n.ID] < seq {
+		row[n.ID] = seq
 	}
 
 	if home == n.ID {
 		// Home writes go directly to the home copy; only the version
 		// advances (visible to fetchers immediately after).
-		n.bumpVersion(nil, pg, n.ID, seq)
+		n.bumpVersion(pg, n.ID, seq)
 		return
 	}
-	var runs []memory.Run
+	var d *diffMsg
 	if n.Mem.HasTwin(pg) {
 		// Word-by-word comparison of the page against its twin.
 		p.Sleep(sim.Time(float64(n.sys.Cfg.PageSize) * c.DiffPerByte))
 		n.Acct.DiffCompute += sim.Time(float64(n.sys.Cfg.PageSize) * c.DiffPerByte)
-		runs = memory.CloneRuns(n.Mem.Diff(pg))
+		d = n.getDiff()
+		d.page, d.src, d.seq = pg, n.ID, seq
+		d.runs, d.buf = n.Mem.DiffCopy(pg, d.runs[:0], d.buf)
 		n.Mem.DropTwin(pg)
-		n.Acct.DiffBytes += uint64(memory.RunsBytes(runs))
+		n.Acct.DiffBytes += uint64(memory.RunsBytes(d.runs))
 	}
 	// No twin: the page's modifications were already flushed (e.g. an
 	// early flush when a notice invalidated a concurrently written
 	// page); only the version needs to advance for this interval.
 
 	if n.sys.Feat.DD {
-		if n.sys.Cfg.ScatterGather && len(runs) > 1 {
+		if d != nil && n.sys.Cfg.ScatterGather && len(d.runs) > 1 {
 			// The scatter-gather extension (paper §3.3, not adopted
 			// there): all runs travel as one gathered message that the
 			// home NI scatters itself — one message instead of many, at
 			// extra NI occupancy on both sides.
-			size := diffMsgOverhead + memory.RunsBytes(runs) + runHeader*len(runs)
-			homeNode := n.sys.Nodes[home]
-			src := n.ID
-			n.ep.DepositGathered(p, home, size, "sg-diff", func() {
-				memory.ApplyRuns(n.sys.Space.HomeCopy(pg), runs)
-				homeNode.bumpVersion(nil, pg, src, seq)
-			})
+			sg := n.getSGDep()
+			sg.origin, sg.home, sg.pg, sg.src, sg.seq, sg.d = n, n.sys.Nodes[home], pg, n.ID, seq, d
+			n.ep.DepositGatheredTo(p, home, d.wireSize(), "sg-diff", sg)
 			return
 		}
 		// Direct diffs: one remote deposit per contiguous run, applied
-		// into the home copy by the home NI, then a version marker.
-		for _, r := range runs {
-			r := r
-			n.ep.Deposit(p, home, runHeader+len(r.Data), "direct-diff", nil, func() {
-				memory.ApplyRuns(n.sys.Space.HomeCopy(pg), []memory.Run{r})
-			})
+		// into the home copy by the home NI, then a version marker that
+		// releases the diff storage (FIFO: it lands after every run).
+		if d != nil {
+			for i := range d.runs {
+				rd := n.getRunDep()
+				rd.owner, rd.pg, rd.run = n, pg, d.runs[i]
+				n.ep.DepositTo(p, home, runHeader+len(rd.run.Data), "direct-diff", rd, runDepDel)
+			}
 		}
-		n.sendVersionMarker(p, home, pg, seq)
+		n.sendVersionMarker(p, home, pg, seq, d)
 		return
 	}
 
 	// Packed diff: single message, interrupt + protocol process applies
 	// (sent even when empty so the home's version row advances under
 	// protocol-process control and queued page requests are retried).
-	d := &diffMsg{page: pg, src: n.ID, seq: seq, runs: runs}
-	n.ep.SendInterrupt(p, home, d.wireSize(), "diff", d)
+	if d == nil {
+		d = n.getDiff()
+		d.page, d.src, d.seq = pg, n.ID, seq
+	}
+	n.ep.SendInterrupt(p, home, d.wireSize(), vmmc.MsgDiff, d)
 }
 
 // closePageEarly closes a one-page interval for a dirty page that is
@@ -148,14 +194,23 @@ func (n *Node) flushPage(p *sim.Proc, pg int, seq uint64) {
 // nodes still learn about the flushed writes.
 func (n *Node) closePageEarly(p *sim.Proc, pg int) {
 	n.ivGate.Acquire(p)
-	if _, still := n.dirty[pg]; !still || !n.Mem.HasTwin(pg) {
+	if !n.dirtySet[pg] || !n.Mem.HasTwin(pg) {
 		n.ivGate.Release()
 		return // a concurrent close already flushed it
 	}
-	delete(n.dirty, pg)
+	n.dirtySet[pg] = false
+	for i, v := range n.dirtyList {
+		if int(v) == pg {
+			last := len(n.dirtyList) - 1
+			n.dirtyList[i] = n.dirtyList[last]
+			n.dirtyList = n.dirtyList[:last]
+			break
+		}
+	}
 	seq := n.vc[n.ID] + 1
 	n.vc[n.ID] = seq
-	iv := &interval{Src: n.ID, Seq: seq, Pages: []int32{int32(pg)}}
+	iv := n.sys.newInterval(n.ID, seq, 1)
+	iv.Pages[0] = int32(pg)
 	n.recordInterval(iv)
 	n.flushPage(p, pg, seq)
 	if n.sys.Feat.DW {
@@ -166,37 +221,27 @@ func (n *Node) closePageEarly(p *sim.Proc, pg int) {
 
 // sendVersionMarker deposits the "diffs for (pg, src, seq) are all
 // ahead of this message" marker; per-pair FIFO ordering guarantees the
-// run deposits land first.
-func (n *Node) sendVersionMarker(p *sim.Proc, home, pg int, seq uint64) {
-	src := n.ID
-	homeNode := n.sys.Nodes[home]
-	n.ep.Deposit(p, home, 16, "diff-done", nil, func() {
-		homeNode.bumpVersion(nil, pg, src, seq)
-	})
+// run deposits land first. d (if any) is the diff storage the marker's
+// delivery releases.
+func (n *Node) sendVersionMarker(p *sim.Proc, home, pg int, seq uint64, d *diffMsg) {
+	vm := n.getVerMark()
+	vm.origin, vm.home, vm.pg, vm.seq, vm.d = n, n.sys.Nodes[home], pg, seq, d
+	n.ep.DepositTo(p, home, 16, "diff-done", vm, verMarkDel)
 }
 
-// applyPackedDiff runs on the home's protocol process (Base path).
-func (n *Node) applyPackedDiff(p *sim.Proc, d *diffMsg) {
-	c := &n.sys.Cfg.Costs
-	p.Sleep(sim.Time(float64(d.wireSize()) * c.HandlerPerByte))
-	memory.ApplyRuns(n.sys.Space.HomeCopy(d.page), d.runs)
-	n.bumpVersion(p, d.page, d.src, d.seq)
-}
+// Packed diff application runs on the home's protocol machine (Base
+// path): see pmDiffApply/pmRetryLoop in handler.go, which also retry
+// queued page requests after the version advances.
 
-// bumpVersion advances the applied-version row for a page homed here,
-// wakes local accessors waiting on the home copy, and (Base) retries
-// queued page requests. p may be nil in event context (DD markers),
-// where no queued Base requests can exist.
-func (n *Node) bumpVersion(p *sim.Proc, pg, src int, seq uint64) {
-	if n.homeVer[pg][src] < seq {
-		n.homeVer[pg][src] = seq
+// bumpVersion advances the applied-version row for a page homed here
+// and wakes local accessors waiting on the home copy. Queued Base page
+// requests are retried only by the protocol machine's diff body — the
+// sole context where they can become answerable.
+func (n *Node) bumpVersion(pg, src int, seq uint64) {
+	if row := n.homeVer.row(pg); row[src] < seq {
+		row[src] = seq
 	}
-	if wq := n.homeWait[pg]; wq != nil {
-		wq.WakeAll()
-	}
-	if p != nil {
-		n.retryPending(p, pg)
-	}
+	n.homeWaitQ[pg].WakeAll()
 }
 
 // broadcastNotice eagerly deposits the interval's write notice into
@@ -205,20 +250,14 @@ func (n *Node) bumpVersion(p *sim.Proc, pg, src int, seq uint64) {
 // fabric replicates.
 func (n *Node) broadcastNotice(p *sim.Proc, iv *interval) {
 	if n.sys.Cfg.NIBroadcast && iv.wireSize() <= n.sys.Cfg.MaxPacket {
-		sys := n.sys
-		n.ep.DepositBroadcast(p, iv.wireSize(), "notice", func(dst int) {
-			sys.Nodes[dst].depositNotice(iv)
-		})
+		n.ep.DepositBroadcastTo(p, iv.wireSize(), "notice", iv, &n.sys.noticeDel)
 		return
 	}
 	for dst := 0; dst < n.sys.Cfg.Nodes; dst++ {
 		if dst == n.ID {
 			continue
 		}
-		dstNode := n.sys.Nodes[dst]
-		n.ep.Deposit(p, dst, iv.wireSize(), "notice", nil, func() {
-			dstNode.depositNotice(iv)
-		})
+		n.ep.DepositTo(p, dst, iv.wireSize(), "notice", iv, &n.sys.noticeDel)
 	}
 }
 
@@ -247,7 +286,7 @@ func (n *Node) waitNotices(p *sim.Proc, target []uint64) {
 // mprotect cost. Dirty pages being invalidated are flushed first
 // (concurrent-writer case). Returns the mprotect time charged.
 func (n *Node) applyUpTo(p *sim.Proc, target []uint64) sim.Time {
-	var invalidate []int
+	invalidate := n.getInv()
 	for src := range target {
 		if src == n.ID {
 			continue
@@ -262,10 +301,10 @@ func (n *Node) applyUpTo(p *sim.Proc, target []uint64) sim.Time {
 			// valid anyway).
 			for _, pg32 := range iv.Pages {
 				pg := int(pg32)
-				if n.copyVer[pg] != nil && n.copyVer[pg][iv.Src] >= seq {
+				if n.copyVerSet[pg] && n.copyVer.row(pg)[iv.Src] >= seq {
 					continue
 				}
-				if _, isDirty := n.dirty[pg]; isDirty && n.sys.Space.Home(pg) != n.ID && n.Mem.HasTwin(pg) {
+				if n.dirtySet[pg] && n.sys.Space.Home(pg) != n.ID && n.Mem.HasTwin(pg) {
 					n.closePageEarly(p, pg)
 				}
 			}
@@ -273,6 +312,7 @@ func (n *Node) applyUpTo(p *sim.Proc, target []uint64) sim.Time {
 		}
 	}
 	if len(invalidate) == 0 {
+		n.putInv(invalidate)
 		return 0
 	}
 	c := &n.sys.Cfg.Costs
@@ -280,17 +320,6 @@ func (n *Node) applyUpTo(p *sim.Proc, target []uint64) sim.Time {
 	p.Sleep(cost)
 	n.Acct.Mprotect += cost
 	n.Acct.MprotectOps += uint64(calls)
+	n.putInv(invalidate)
 	return cost
-}
-
-// maxVec returns the element-wise max of a and b into a new slice.
-func maxVec(a, b []uint64) []uint64 {
-	out := make([]uint64, len(a))
-	for i := range a {
-		out[i] = a[i]
-		if b[i] > out[i] {
-			out[i] = b[i]
-		}
-	}
-	return out
 }

@@ -18,20 +18,25 @@ type pendingPage struct {
 	msg *pageReqMsg
 }
 
-// fetchPayload is what a page fetch returns: a snapshot of the home copy
-// and the home's applied-version row at snapshot time.
+// fetchPayload is what an NI remote fetch returns: a snapshot of the
+// home copy and the home's applied-version row at snapshot time. Pooled;
+// the requester releases it once the snapshot is consumed.
 type fetchPayload struct {
 	page int
 	data []byte
 	ver  []uint64
 }
 
-// pageReqMsg is the Base-protocol page request payload.
+// pageReqMsg is the Base-protocol page request record. It is pooled and
+// doubles as the reply destination: the home writes the snapshot into
+// data/ver at reply time and delivery raises done (the requester reads
+// the fields only after done, so writing them early is safe).
 type pageReqMsg struct {
 	page int
-	need []uint64
-	done *sim.Flag
-	data *fetchPayload // reply destination (deposited by home)
+	need []uint64 // requester's requirement row (copied at send time)
+	done sim.Flag
+	data []byte   // reply: page snapshot (from the home's buffer pool)
+	ver  []uint64 // reply: home version row at snapshot time
 }
 
 const (
@@ -62,7 +67,7 @@ func (n *Node) EnsureWritable(p *sim.Proc, first, last int) {
 		home := n.sys.Space.Home(pg) == n.ID
 		for {
 			n.faultIn(p, pg)
-			_, dirtyAlready := n.dirty[pg]
+			dirtyAlready := n.dirtySet[pg]
 			if home {
 				if !dirtyAlready {
 					// Home pages are written in place; the write fault
@@ -70,7 +75,7 @@ func (n *Node) EnsureWritable(p *sim.Proc, first, last int) {
 					p.Sleep(c.MprotectBase)
 					n.Acct.Mprotect += c.MprotectBase
 					n.Acct.MprotectOps++
-					n.dirty[pg] = struct{}{}
+					n.markDirty(pg)
 				}
 				break
 			}
@@ -87,7 +92,7 @@ func (n *Node) EnsureWritable(p *sim.Proc, first, last int) {
 					continue // invalidated during the sleeps: refetch first
 				}
 				n.Mem.MakeTwin(pg)
-				n.dirty[pg] = struct{}{}
+				n.markDirty(pg)
 				break
 			}
 			// A twin exists but the page is not (or no longer cleanly)
@@ -107,36 +112,28 @@ func (n *Node) faultIn(p *sim.Proc, page int) {
 	if n.sys.Space.Home(page) == n.ID {
 		// The home copy is the master; a local access must only wait
 		// until the diffs this node has seen notices for are applied.
-		for !n.needSatisfied(page, n.homeVer[page]) {
-			wq := n.homeWait[page]
-			if wq == nil {
-				wq = &sim.WaitQ{}
-				n.homeWait[page] = wq
-			}
-			wq.Wait(p)
+		for !n.needSatisfied(page, n.homeVer.row(page)) {
+			n.homeWaitQ[page].Wait(p)
 		}
 		return
 	}
 	c := &n.sys.Cfg.Costs
 	for n.state[page] != pageValid {
 		// Collapse concurrent faults on the same page within the node.
-		if f := n.inFlight[page]; f != nil {
-			f.Wait(p)
+		if n.fetching[page] {
+			n.fetchQ[page].Wait(p)
 			continue
 		}
-		f := &sim.Flag{}
-		n.inFlight[page] = f
+		n.fetching[page] = true
 
 		var data []byte
-		var ver []uint64
 		if n.sys.Feat.RF {
-			data, ver = n.fetchRF(p, page)
+			data = n.fetchRF(p, page)
 		} else {
-			data, ver = n.fetchBase(p, page)
+			data = n.fetchBase(p, page)
 		}
 		n.installFetched(page, data)
 		n.Mem.Pool().Put(data) // snapshot consumed: recycle the buffer
-		n.copyVer[page] = ver
 		n.state[page] = pageValid
 		// Map the fresh page read-only.
 		p.Sleep(c.MprotectBase)
@@ -144,8 +141,8 @@ func (n *Node) faultIn(p *sim.Proc, page int) {
 		n.Acct.MprotectOps++
 		n.Acct.PageFetches++
 
-		delete(n.inFlight, page)
-		f.Set()
+		n.fetching[page] = false
+		n.fetchQ[page].WakeAll()
 	}
 }
 
@@ -153,118 +150,87 @@ func (n *Node) faultIn(p *sim.Proc, page int) {
 // local modifications (it was re-dirtied while an interval close or an
 // early flush was in progress and then invalidated), those words are
 // re-applied on top of the fetched data so they are not lost — the
-// multiple-writer guarantee across a refetch.
+// multiple-writer guarantee across a refetch. The run scratch is reused
+// across calls (no yields happen while it is live).
 func (n *Node) installFetched(page int, data []byte) {
 	if !n.Mem.HasTwin(page) {
 		n.Mem.InstallCopy(page, data)
 		return
 	}
-	mods := memory.CloneRuns(n.Mem.Diff(page))
+	n.modsRuns, n.modsBuf = n.Mem.DiffCopy(page, n.modsRuns[:0], n.modsBuf)
 	n.Mem.DropTwin(page)
 	n.Mem.InstallCopy(page, data)
 	n.Mem.MakeTwin(page)
-	memory.ApplyRuns(n.Mem.Page(page), mods)
+	memory.ApplyRuns(n.Mem.Page(page), n.modsRuns)
 }
 
 // fetchBase is the interrupt path: request -> home protocol process ->
-// reply deposit. The home queues the request if diffs are pending.
-func (n *Node) fetchBase(p *sim.Proc, page int) ([]byte, []uint64) {
+// reply deposit. The home queues the request if diffs are pending. The
+// fetched snapshot's version row is recorded in copyVer before the
+// pooled request is released.
+func (n *Node) fetchBase(p *sim.Proc, page int) []byte {
 	home := n.sys.Space.Home(page)
+	req := n.getPageReq()
+	req.page = page
 	for {
-		req := &pageReqMsg{
-			page: page,
-			need: append([]uint64(nil), n.need[page]...),
-			done: &sim.Flag{},
-			data: &fetchPayload{},
-		}
-		n.ep.SendInterrupt(p, home, pageReqOverhead+8*len(req.need), "page-req", req)
+		// Another processor in this node may raise the page's
+		// requirements (by applying notices) while a request is in
+		// flight; each (re-)request snapshots the current row.
+		copy(req.need, n.need.row(page))
+		n.ep.SendInterrupt(p, home, pageReqOverhead+8*len(req.need), vmmc.MsgPageReq, req)
 		req.done.Wait(p)
-		// Another processor in this node may have raised the page's
-		// requirements (by applying notices) while the request was in
-		// flight; re-request if the reply no longer satisfies them.
-		if n.needSatisfied(page, req.data.ver) {
-			return req.data.data, req.data.ver
+		if n.needSatisfied(page, req.ver) {
+			break
 		}
 		n.Acct.FetchRetries++
-		n.Mem.Pool().Put(req.data.data) // stale snapshot: recycle
+		n.Mem.Pool().Put(req.data) // stale snapshot: recycle
+		req.done.Reset()
 	}
+	copy(n.copyVer.row(page), req.ver)
+	n.copyVerSet[page] = true
+	data := req.data
+	n.putPageReq(req)
+	return data
 }
 
 // fetchRF is the NI remote-fetch path with requester retry on stale
 // versions (no home processor involvement).
-func (n *Node) fetchRF(p *sim.Proc, page int) ([]byte, []uint64) {
+func (n *Node) fetchRF(p *sim.Proc, page int) []byte {
 	home := n.sys.Space.Home(page)
 	size := n.sys.Cfg.PageSize + pageReplyOverhead
 	for {
-		rep := n.ep.RemoteFetch(p, home, size, "page", page)
+		rep := n.ep.RemoteFetch(p, home, size, "page-req", "page-reply", page)
 		pl := rep.Payload.(*fetchPayload)
 		if n.needSatisfied(page, pl.ver) {
-			return pl.data, pl.ver
+			copy(n.copyVer.row(page), pl.ver)
+			n.copyVerSet[page] = true
+			data := pl.data
+			n.putFetchPayload(pl)
+			return data
 		}
 		n.Acct.FetchRetries++
 		n.Mem.Pool().Put(pl.data) // stale snapshot: recycle
+		n.putFetchPayload(pl)
 		p.Sleep(n.sys.Cfg.Costs.FetchRetryBackoff)
 	}
 }
 
 // serveFetch runs in the home NI's firmware: snapshot the page and its
-// version row. No host time is charged.
+// version row into a pooled payload (released by the requester). No
+// host time is charged.
 func (n *Node) serveFetch(req vmmc.FetchReq) vmmc.FetchReply {
-	page := req.Tag.(int)
-	data := n.Mem.Pool().Get()
-	copy(data, n.sys.Space.HomeCopy(page))
-	ver := append([]uint64(nil), n.homeVer[page]...)
+	page := req.Tag
+	pl := n.getFetchPayload()
+	pl.page = page
+	pl.data = n.Mem.Pool().Get()
+	copy(pl.data, n.sys.Space.HomeCopy(page))
+	copy(pl.ver, n.homeVer.row(page))
 	return vmmc.FetchReply{
-		Payload: &fetchPayload{page: page, data: data, ver: ver},
+		Payload: pl,
 		Size:    n.sys.Cfg.PageSize + pageReplyOverhead,
 	}
 }
 
-// handlePageReq services a Base page request on the home's protocol
-// process (process context).
-func (n *Node) handlePageReq(p *sim.Proc, src int, req *pageReqMsg) {
-	if !vecCovered(req.need, n.homeVer[req.page]) {
-		n.pendingReqs[req.page] = append(n.pendingReqs[req.page], pendingPage{src: src, msg: req})
-		return
-	}
-	n.replyPage(p, src, req)
-}
-
-func (n *Node) replyPage(p *sim.Proc, src int, req *pageReqMsg) {
-	data := n.Mem.Pool().Get()
-	copy(data, n.sys.Space.HomeCopy(req.page))
-	ver := append([]uint64(nil), n.homeVer[req.page]...)
-	n.ep.Deposit(p, src, n.sys.Cfg.PageSize+pageReplyOverhead, "page-reply", nil, func() {
-		req.data.data = data
-		req.data.ver = ver
-		req.done.Set()
-	})
-}
-
-// retryPending re-checks queued page requests after a diff application
-// at the home (process context: the Base protocol process).
-func (n *Node) retryPending(p *sim.Proc, page int) {
-	reqs := n.pendingReqs[page]
-	if len(reqs) == 0 {
-		return
-	}
-	var keep []pendingPage
-	for _, r := range reqs {
-		if vecCovered(r.msg.need, n.homeVer[page]) {
-			n.replyPage(p, r.src, r.msg)
-		} else {
-			keep = append(keep, r)
-		}
-	}
-	n.pendingReqs[page] = keep
-}
-
-// vecCovered reports whether have >= want element-wise.
-func vecCovered(want, have []uint64) bool {
-	for i, w := range want {
-		if have[i] < w {
-			return false
-		}
-	}
-	return true
-}
+// Base page-request servicing (handle, reply, pending retry) lives on
+// the protocol machine: see pmDispatch/startReply/pmRetryLoop in
+// handler.go.

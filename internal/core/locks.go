@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"genima/internal/sim"
+	"genima/internal/vmmc"
 )
 
 // Lock synchronization.
@@ -31,20 +32,17 @@ type lockMeta struct {
 	lastOwner int
 }
 
-// remoteReq is a remote acquire waiting at the current owner.
-type remoteReq struct {
-	requester int
-	reqVC     []uint64
-}
-
-// lockReqMsg is the Base acquire/forward payload.
+// lockReqMsg is the Base acquire payload: pooled, and reused verbatim
+// for the home's forward hop (same wire size); the final consumer — the
+// node that grants or queues the request — releases it.
 type lockReqMsg struct {
 	id        int
 	requester int
 	reqVC     []uint64
 }
 
-// lockGrant is the Base/DW grant payload.
+// lockGrant is the Base/DW grant payload (pooled; the requester
+// releases it after applying the carried coherence information).
 type lockGrant struct {
 	id        int
 	vc        []uint64
@@ -59,25 +57,48 @@ func (g *lockGrant) wireSize() int {
 	return n
 }
 
+// vcMsg is the pooled NI-lock timestamp payload (NIL path): boxing the
+// record pointer into the NI's opaque payload slot allocates nothing.
+type vcMsg struct {
+	vc []uint64
+}
+
 // nodeLock is the node-level lock cache.
 type nodeLock struct {
-	id            int
-	cached        bool // this node is the lock's current owner
-	held          bool // some local processor holds it
-	requesting    bool // a remote acquire is outstanding
-	releasing     bool // a release (diff flush / NI handback) is in progress
-	localQ        sim.WaitQ
-	grantFlag     *sim.Flag
-	grantVC       []uint64
-	grantIvs      []*interval
-	pendingRemote *remoteReq
+	id         int
+	cached     bool // this node is the lock's current owner
+	held       bool // some local processor holds it
+	requesting bool // a remote acquire is outstanding
+	releasing  bool // a release (diff flush / NI handback) is in progress
+	localQ     sim.WaitQ
+
+	// Remote acquire state (one outstanding acquire per node-lock).
+	wantGrant bool
+	grantF    sim.Flag
+	grant     *lockGrant
+
+	// A remote requester parked here until the local release (its
+	// vector is copied out of the pooled request so the record can be
+	// released immediately).
+	pendingReq       bool
+	pendingRequester int
+	pendingVC        []uint64
 }
 
 func (n *Node) lock(id int) *nodeLock {
 	lk := n.locks[id]
 	if lk == nil {
+		// Fine-grained locking apps (Barnes) touch hundreds of lock ids
+		// per node; carve records out of a chunk instead of allocating
+		// each one.
+		if len(n.lockChunk) == 0 {
+			n.lockChunk = make([]nodeLock, 32)
+		}
+		lk = &n.lockChunk[0]
+		n.lockChunk = n.lockChunk[1:]
 		home := n.sys.lockHome(id)
-		lk = &nodeLock{id: id, cached: !n.sys.Feat.NIL && home == n.ID}
+		lk.id = id
+		lk.cached = !n.sys.Feat.NIL && home == n.ID
 		n.locks[id] = lk
 	}
 	return lk
@@ -132,34 +153,40 @@ func (n *Node) acquireNIL(p *sim.Proc, lk *nodeLock) {
 	if payload == nil {
 		return // first acquire ever: nothing to apply
 	}
-	grantVC := payload.([]uint64)
-	n.waitNotices(p, grantVC)
-	n.applyUpTo(p, grantVC)
+	vm := payload.(*vcMsg)
+	n.waitNotices(p, vm.vc)
+	n.applyUpTo(p, vm.vc)
+	n.putVCMsg(vm)
 }
 
 func (n *Node) acquireBase(p *sim.Proc, lk *nodeLock) {
-	lk.grantFlag = &sim.Flag{}
-	req := &lockReqMsg{id: lk.id, requester: n.ID, reqVC: append([]uint64(nil), n.vc...)}
+	lk.wantGrant = true
+	req := n.getLockReq()
+	req.id, req.requester = lk.id, n.ID
+	copy(req.reqVC, n.vc)
 	home := n.sys.lockHome(lk.id)
 	size := lockMsgOverhead + 8*len(req.reqVC)
 	if home == n.ID {
 		// The home is this node: the chain lookup still runs on the
-		// protocol process (it owns the directory), via the mailbox but
+		// protocol process (it owns the directory), posted locally
 		// without a network hop or interrupt cost.
-		n.mb.Send(localMsg("lock-req", req))
+		n.pm.post(localMsg(vmmc.MsgLockReq, req))
 	} else {
-		n.ep.SendInterrupt(p, home, size, "lock-req", req)
+		n.ep.SendInterrupt(p, home, size, vmmc.MsgLockReq, req)
 	}
-	lk.grantFlag.Wait(p)
+	lk.grantF.Wait(p)
+	g := lk.grant
+	lk.grant, lk.wantGrant = nil, false
+	lk.grantF.Reset()
 
-	for _, iv := range lk.grantIvs {
+	for _, iv := range g.intervals {
 		n.recordInterval(iv)
 	}
 	if n.sys.Feat.DW {
-		n.waitNotices(p, lk.grantVC)
+		n.waitNotices(p, g.vc)
 	}
-	n.applyUpTo(p, lk.grantVC)
-	lk.grantFlag, lk.grantVC, lk.grantIvs = nil, nil, nil
+	n.applyUpTo(p, g.vc)
+	n.putGrant(g)
 }
 
 // LockRelease releases lock id. A waiting local processor gets the lock
@@ -189,15 +216,20 @@ func (n *Node) LockRelease(p *sim.Proc, id int) {
 	if n.sys.Feat.NIL {
 		n.closeInterval(p) // ensure notices precede the NI release
 		lk.cached = false
-		n.ep.NILockRelease(p, id, append([]uint64(nil), n.vc...), 8*len(n.vc))
+		vm := n.getVCMsg()
+		copy(vm.vc, n.vc)
+		n.ep.NILockRelease(p, id, vm, 8*len(vm.vc))
 		lk.releasing = false
 		lk.localQ.WakeAll() // re-check state (they will go remote)
 		return
 	}
-	if lk.pendingRemote != nil {
-		rr := lk.pendingRemote
-		lk.pendingRemote = nil
-		n.grantRemote(p, lk, rr)
+	if lk.pendingReq {
+		lk.pendingReq = false
+		// No new forward can arrive while releasing (a forward requires
+		// this node to re-own the lock, which requires a local acquire —
+		// blocked until releasing clears), so pendingVC stays stable
+		// across grantRemote's yields.
+		n.grantRemote(p, lk, lk.pendingRequester, lk.pendingVC)
 	}
 	lk.releasing = false
 	lk.localQ.WakeAll()
@@ -207,22 +239,21 @@ func (n *Node) LockRelease(p *sim.Proc, id int) {
 // grantRemote transfers ownership to a remote requester: close the
 // interval (flushing diffs — "diffs are propagated to the home at the
 // next incoming acquire"), then send the grant.
-func (n *Node) grantRemote(p *sim.Proc, lk *nodeLock, rr *remoteReq) {
+func (n *Node) grantRemote(p *sim.Proc, lk *nodeLock, requester int, reqVC []uint64) {
 	// Revoke the cache entry before yielding in closeInterval so no
 	// local processor grabs the lock while it is being shipped away.
 	lk.cached = false
 	n.closeInterval(p)
-	g := &lockGrant{id: lk.id, vc: append([]uint64(nil), n.vc...)}
+	g := n.getGrant()
+	g.id = lk.id
+	copy(g.vc, n.vc)
 	if !n.sys.Feat.DW {
 		// Base: piggyback the write notices the requester lacks.
 		for src := 0; src < n.sys.Cfg.Nodes; src++ {
-			g.intervals = append(g.intervals, n.intervalsAfter(src, rr.reqVC[src], n.vc[src])...)
+			g.intervals = n.appendIntervalsAfter(g.intervals, src, reqVC[src], n.vc[src])
 		}
 	}
-	dst := n.sys.Nodes[rr.requester]
-	n.ep.Deposit(p, rr.requester, g.wireSize(), "lock-grant", nil, func() {
-		dst.receiveGrant(g)
-	})
+	n.ep.DepositTo(p, requester, g.wireSize(), "lock-grant", g, &n.sys.grantDel)
 	lk.localQ.WakeAll() // local waiters must now go remote
 }
 
@@ -230,37 +261,14 @@ func (n *Node) grantRemote(p *sim.Proc, lk *nodeLock, rr *remoteReq) {
 // message is deposited.
 func (n *Node) receiveGrant(g *lockGrant) {
 	lk := n.lock(g.id)
-	if lk.grantFlag == nil {
+	if !lk.wantGrant {
 		panic(fmt.Sprintf("core: unexpected lock grant %d at node %d", g.id, n.ID))
 	}
-	lk.grantVC = g.vc
-	lk.grantIvs = g.intervals
-	lk.grantFlag.Set()
+	lk.grant = g
+	lk.grantF.Set()
 }
 
-// handleLockReq runs at the lock's home on the protocol process.
-func (n *Node) handleLockReq(p *sim.Proc, req *lockReqMsg) {
-	meta := n.sys.lockMetaFor(req.id)
-	prev := meta.lastOwner
-	meta.lastOwner = req.requester
-	rr := &remoteReq{requester: req.requester, reqVC: req.reqVC}
-	if prev == n.ID {
-		n.handleLockFwd(p, req.id, rr)
-		return
-	}
-	size := lockMsgOverhead + 8*len(req.reqVC)
-	n.ep.SendInterrupt(p, prev, size, "lock-fwd", &lockReqMsg{id: req.id, requester: req.requester, reqVC: req.reqVC})
-}
-
-// handleLockFwd runs at the previous owner on the protocol process.
-func (n *Node) handleLockFwd(p *sim.Proc, id int, rr *remoteReq) {
-	lk := n.lock(id)
-	if lk.cached && !lk.held {
-		n.grantRemote(p, lk, rr)
-		return
-	}
-	if lk.pendingRemote != nil {
-		panic(fmt.Sprintf("core: lock %d at node %d already has a pending remote requester", id, n.ID))
-	}
-	lk.pendingRemote = rr
-}
+// Lock request handling at the home and the previous owner runs on the
+// protocol machine: see pmDispatch (MsgLockReq/MsgLockFwd) and lockFwd
+// in handler.go. The pooled request is forwarded as-is (identical wire
+// size) and released by the node that finally grants or parks it.

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"genima/internal/sim"
+	"genima/internal/vmmc"
+)
+
+// ladderWorkload drives one cluster through a fixed mix of contended
+// locks, writes, post-barrier reads (remote fetches), and barriers —
+// touching every interrupt class the ladder eliminates — and returns
+// the total host interrupts taken.
+func ladderWorkload(t *testing.T, k Kind) uint64 {
+	t.Helper()
+	tc := newCluster(t, k, 4, 1, 16)
+	done := 0
+	for nd := 0; nd < 4; nd++ {
+		nd := nd
+		tc.spawn("work", nd, func(p *sim.Proc, n *Node) {
+			for i := 0; i < 4; i++ {
+				n.LockAcquire(p, nd%2)
+				pg := (3*nd + i) % 16
+				n.EnsureWritable(p, pg, pg)
+				n.PageBytes(pg)[nd]++
+				n.LockRelease(p, nd%2)
+			}
+			n.Barrier(p)
+			for i := 0; i < 2; i++ {
+				// Post-barrier reads of pages other nodes wrote: remote
+				// fetches, served by interrupts until RF.
+				pg := (5*nd + 7*i + 3) % 16
+				n.EnsureReadable(p, pg, pg)
+				_ = n.PageBytes(pg)[0]
+			}
+			n.Barrier(p)
+			done++
+		})
+	}
+	tc.run(t, &done, 4)
+	var total uint64
+	for _, n := range tc.sys.Nodes {
+		total += n.Acct.Interrupts
+	}
+	return total
+}
+
+// TestInterruptLadder: each rung of the protocol ladder moves one more
+// protocol service into the NI, so host interrupts strictly decrease
+// rung to rung, reaching exactly zero at GeNIMA (the paper's central
+// claim: no asynchronous protocol processing remains).
+func TestInterruptLadder(t *testing.T) {
+	kinds := Kinds()
+	counts := make([]uint64, len(kinds))
+	for i, k := range kinds {
+		counts[i] = ladderWorkload(t, k)
+	}
+	t.Logf("interrupts per rung: %v -> %v", kinds, counts)
+	if counts[0] == 0 {
+		t.Fatalf("%v took no interrupts; workload exercises nothing", kinds[0])
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] >= counts[i-1] {
+			t.Errorf("%v took %d interrupts, want fewer than %v's %d",
+				kinds[i], counts[i], kinds[i-1], counts[i-1])
+		}
+	}
+	if last := counts[len(counts)-1]; last != 0 {
+		t.Errorf("%v took %d interrupts, want 0", kinds[len(kinds)-1], last)
+	}
+}
+
+// TestUnknownProtocolMessagePanics: the protocol machine refuses
+// messages outside the typed enum loudly rather than dropping them —
+// a corrupted or future message kind is a protocol bug, not noise.
+func TestUnknownProtocolMessagePanics(t *testing.T) {
+	tc := newCluster(t, Base, 2, 1, 4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("posting an unknown message kind did not panic")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "unknown message") {
+			t.Fatalf("panic %q does not mention the unknown message", msg)
+		}
+	}()
+	tc.sys.Node(0).pm.post(vmmc.Msg{Src: 0, Kind: vmmc.MsgKind(99)})
+	tc.eng.RunUntilQuiet()
+}

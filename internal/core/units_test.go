@@ -66,23 +66,23 @@ func TestRecordAndQueryIntervals(t *testing.T) {
 	n.recordInterval(&interval{Src: 1, Seq: 2, Pages: []int32{1}})
 	n.recordInterval(&interval{Src: 1, Seq: 1, Pages: []int32{0}})
 	n.recordInterval(&interval{Src: 1, Seq: 4, Pages: []int32{2}})
-	got := n.intervalsAfter(1, 0, 2)
+	got := n.appendIntervalsAfter(nil, 1, 0, 2)
 	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
-		t.Fatalf("intervalsAfter(0,2) = %+v", got)
+		t.Fatalf("appendIntervalsAfter(0,2) = %+v", got)
 	}
 	// A gap (seq 3 unknown) is simply skipped.
-	got = n.intervalsAfter(1, 2, 4)
+	got = n.appendIntervalsAfter(nil, 1, 2, 4)
 	if len(got) != 1 || got[0].Seq != 4 {
-		t.Fatalf("intervalsAfter(2,4) = %+v", got)
+		t.Fatalf("appendIntervalsAfter(2,4) = %+v", got)
 	}
 }
 
 func TestVecHelpers(t *testing.T) {
 	a := []uint64{1, 5, 2}
 	b := []uint64{3, 4, 2}
-	m := maxVec(a, b)
-	if m[0] != 3 || m[1] != 5 || m[2] != 2 {
-		t.Errorf("maxVec = %v", m)
+	vecMergeMax(a, b)
+	if a[0] != 3 || a[1] != 5 || a[2] != 2 {
+		t.Errorf("vecMergeMax = %v", a)
 	}
 	if !vecCovered([]uint64{1, 2}, []uint64{1, 2}) {
 		t.Error("equal vectors must be covered")
@@ -95,7 +95,7 @@ func TestVecHelpers(t *testing.T) {
 func TestNeedSatisfiedUsesEveryWriter(t *testing.T) {
 	tc := newCluster(t, Base, 4, 1, 4)
 	n := tc.sys.Node(0)
-	n.need[1] = []uint64{0, 2, 0, 1}
+	copy(n.need.row(1), []uint64{0, 2, 0, 1})
 	if n.needSatisfied(1, []uint64{0, 1, 0, 1}) {
 		t.Error("satisfied despite writer 1 behind")
 	}

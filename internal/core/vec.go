@@ -1,0 +1,48 @@
+package core
+
+// Flat per-page version-vector storage. The protocol keeps three
+// page-indexed vector tables (need, copyVer, homeVer); storing them as
+// [][]uint64 costs one allocation and one pointer indirection per page.
+// vecTable packs all rows into a single backing array indexed
+// page*nodes, so table setup is one allocation and row access is pure
+// arithmetic.
+
+// vecTable is a dense pages x nodes matrix of interval sequence numbers.
+type vecTable struct {
+	nodes int
+	a     []uint64
+}
+
+func newVecTable(pages, nodes int) vecTable {
+	return vecTable{nodes: nodes, a: make([]uint64, pages*nodes)}
+}
+
+// row returns page pg's vector. The full slice expression caps the row
+// so a stray append cannot spill into the neighbouring page's row.
+func (t *vecTable) row(pg int) []uint64 {
+	off := pg * t.nodes
+	return t.a[off : off+t.nodes : off+t.nodes]
+}
+
+// vecMergeMax raises dst to the element-wise max of dst and src, in
+// place (no scratch allocation).
+func vecMergeMax(dst, src []uint64) {
+	if len(dst) != len(src) {
+		panic("core: vecMergeMax length mismatch")
+	}
+	for i, v := range src {
+		if v > dst[i] {
+			dst[i] = v
+		}
+	}
+}
+
+// vecCovered reports whether have >= want element-wise.
+func vecCovered(want, have []uint64) bool {
+	for i, w := range want {
+		if have[i] < w {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests for the flat version-vector storage against naive
+// [][]uint64 / []uint64 oracles: the flattening is a pure layout change
+// and must be observationally identical to per-page slices.
+
+// oracleMergeMax is the obvious element-wise max over fresh slices.
+func oracleMergeMax(dst, src []uint64) []uint64 {
+	out := make([]uint64, len(dst))
+	copy(out, dst)
+	for i, v := range src {
+		if v > out[i] {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// oracleCovered is the obvious element-wise comparison.
+func oracleCovered(want, have []uint64) bool {
+	for i, w := range want {
+		if have[i] < w {
+			return false
+		}
+	}
+	return true
+}
+
+func TestVecMergeMaxMatchesOracle(t *testing.T) {
+	property := func(a, b []uint64) bool {
+		if len(a) != len(b) {
+			// vecMergeMax requires equal lengths (checked separately);
+			// trim to the shorter so the property exercises the math.
+			n := min(len(a), len(b))
+			a, b = a[:n], b[:n]
+		}
+		want := oracleMergeMax(a, b)
+		got := make([]uint64, len(a))
+		copy(got, a)
+		vecMergeMax(got, b)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecMergeMaxMismatchedLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("vecMergeMax with mismatched lengths did not panic")
+		}
+	}()
+	vecMergeMax(make([]uint64, 3), make([]uint64, 4))
+}
+
+func TestVecCoveredMatchesOracle(t *testing.T) {
+	property := func(want, have []uint64, nearMiss bool) bool {
+		n := min(len(want), len(have))
+		want, have = want[:n], have[:n]
+		if nearMiss && n > 0 {
+			// Random vectors almost always differ wildly; bias half the
+			// cases toward have ~ want so both outcomes are exercised.
+			copy(have, want)
+			if want[0] > 0 {
+				have[0] = want[0] - 1
+			}
+		}
+		return vecCovered(want, have) == oracleCovered(want, have)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecCoveredAllZero(t *testing.T) {
+	// The all-zero requirement is covered by anything, including an
+	// all-zero version row — the initial state of every table.
+	zero := make([]uint64, 4)
+	if !vecCovered(zero, zero) {
+		t.Error("all-zero want not covered by all-zero have")
+	}
+	if !vecCovered(zero, []uint64{1, 2, 3, 4}) {
+		t.Error("all-zero want not covered by nonzero have")
+	}
+	if vecCovered([]uint64{0, 0, 1, 0}, zero) {
+		t.Error("nonzero want covered by all-zero have")
+	}
+	if !vecCovered(nil, nil) {
+		t.Error("empty want not covered by empty have")
+	}
+}
+
+// TestVecTableMatchesSliceOracle drives a vecTable and a [][]uint64
+// oracle through the same random row updates (the protocol's access
+// pattern: read a row, merge, bump single entries) and checks every row
+// stays identical, including rows never written (all-zero).
+func TestVecTableMatchesSliceOracle(t *testing.T) {
+	const pages, nodes = 17, 5
+	rng := rand.New(rand.NewSource(42))
+
+	tab := newVecTable(pages, nodes)
+	oracle := make([][]uint64, pages)
+	for p := range oracle {
+		oracle[p] = make([]uint64, nodes)
+	}
+
+	for step := 0; step < 2000; step++ {
+		pg := rng.Intn(pages)
+		switch rng.Intn(3) {
+		case 0: // bump one entry
+			i := rng.Intn(nodes)
+			v := uint64(rng.Intn(100))
+			if row := tab.row(pg); row[i] < v {
+				row[i] = v
+			}
+			if oracle[pg][i] < v {
+				oracle[pg][i] = v
+			}
+		case 1: // merge a random vector into the row
+			src := make([]uint64, nodes)
+			for i := range src {
+				src[i] = uint64(rng.Intn(100))
+			}
+			vecMergeMax(tab.row(pg), src)
+			oracle[pg] = oracleMergeMax(oracle[pg], src)
+		case 2: // compare coverage between two rows
+			other := rng.Intn(pages)
+			got := vecCovered(tab.row(pg), tab.row(other))
+			want := oracleCovered(oracle[pg], oracle[other])
+			if got != want {
+				t.Fatalf("step %d: vecCovered(row %d, row %d) = %v, oracle %v",
+					step, pg, other, got, want)
+			}
+		}
+	}
+	for p := 0; p < pages; p++ {
+		row := tab.row(p)
+		for i := range row {
+			if row[i] != oracle[p][i] {
+				t.Fatalf("row %d entry %d = %d, oracle %d", p, i, row[i], oracle[p][i])
+			}
+		}
+	}
+}
+
+// TestVecTableRowIsolation: writing (even appending to) one row must
+// never disturb a neighbouring page's row — the full slice expression
+// in row() caps each row at its own boundary.
+func TestVecTableRowIsolation(t *testing.T) {
+	tab := newVecTable(3, 2)
+	r1 := tab.row(1)
+	r1[0], r1[1] = 7, 8
+	// An append past the row must reallocate, not spill into row 2.
+	_ = append(tab.row(1), 99)
+	for _, i := range []int{0, 1} {
+		if got := tab.row(2)[i]; got != 0 {
+			t.Fatalf("row 2 entry %d = %d after append to row 1, want 0", i, got)
+		}
+		if got := tab.row(0)[i]; got != 0 {
+			t.Fatalf("row 0 entry %d = %d, want 0", i, got)
+		}
+	}
+	if r := tab.row(1); r[0] != 7 || r[1] != 8 {
+		t.Fatalf("row 1 = %v, want [7 8]", r)
+	}
+}

@@ -123,7 +123,8 @@ type BufPool struct {
 	free [][]byte
 
 	// Hits counts Gets served from the free list; Allocs counts Gets
-	// that fell through to make. Exposed for tests and benchmarks.
+	// that missed and allocated fresh storage (one chunk of buffers per
+	// miss). Exposed for tests and benchmarks.
 	Hits, Allocs uint64
 }
 
@@ -141,7 +142,14 @@ func (p *BufPool) Get() []byte {
 		return b
 	}
 	p.Allocs++
-	return make([]byte, p.size)
+	// Miss: carve a chunk of buffers out of one backing array, so a
+	// growing working set costs one allocation per four pages. Full
+	// slice caps keep an append on one buffer from clobbering the next.
+	back := make([]byte, 4*p.size)
+	for i := 3; i > 0; i-- {
+		p.free = append(p.free, back[i*p.size:(i+1)*p.size:(i+1)*p.size])
+	}
+	return back[0:p.size:p.size]
 }
 
 // Put returns a buffer to the free list. Buffers of the wrong length
@@ -266,6 +274,45 @@ func DiffWords(cur, old []byte, wordSize int) []Run {
 	return runs
 }
 
+// DiffCopyWords is DiffWords with reusable storage: runs are appended to
+// runs (typically a pooled slice re-sliced to length 0) and each run's
+// data is deep-copied into buf, so the result survives further page
+// mutation without per-diff allocations. buf is grown once to the page
+// size if needed — never mid-loop, so run aliases stay stable — and the
+// (possibly regrown) buf is returned for the caller to retain.
+func DiffCopyWords(runs []Run, buf []byte, cur, old []byte, wordSize int) ([]Run, []byte) {
+	if len(cur) != len(old) {
+		panic("memory: DiffCopyWords length mismatch")
+	}
+	if cap(buf) < len(cur) {
+		buf = make([]byte, 0, len(cur))
+	}
+	buf = buf[:0]
+	n := len(cur)
+	off := 0
+	for off < n {
+		off = nextDifferingWord(cur, old, off, wordSize)
+		if off >= n {
+			break
+		}
+		start := off
+		off = nextEqualWord(cur, old, off, wordSize)
+		bstart := len(buf)
+		buf = append(buf, cur[start:off]...)
+		runs = append(runs, Run{Off: start, Data: buf[bstart:len(buf):len(buf)]})
+	}
+	return runs, buf
+}
+
+// DiffCopy is Diff with reusable storage (see DiffCopyWords).
+func (m *NodeMem) DiffCopy(page int, runs []Run, buf []byte) ([]Run, []byte) {
+	tw := m.twins[page]
+	if tw == nil {
+		panic(fmt.Sprintf("memory: DiffCopy of page %d without twin", page))
+	}
+	return DiffCopyWords(runs, buf, m.Page(page), tw, m.space.WordSize)
+}
+
 // nextDifferingWord returns the offset of the first word at or after off
 // that differs between a and b, or len(a) if none. When the word size
 // divides 8, equal regions are skipped 8 bytes per comparison; offsets
@@ -334,20 +381,25 @@ func equalWord(a, b []byte, off, w int) bool {
 // one integer move instead of a memmove call.
 func ApplyRuns(dst []byte, runs []Run) {
 	for _, r := range runs {
-		switch len(r.Data) {
-		case 8:
-			if r.Off+8 <= len(dst) {
-				binary.LittleEndian.PutUint64(dst[r.Off:], binary.LittleEndian.Uint64(r.Data))
-				continue
-			}
-		case 4:
-			if r.Off+4 <= len(dst) {
-				binary.LittleEndian.PutUint32(dst[r.Off:], binary.LittleEndian.Uint32(r.Data))
-				continue
-			}
-		}
-		copy(dst[r.Off:], r.Data)
+		ApplyRun(dst, r)
 	}
+}
+
+// ApplyRun writes one run into dst (see ApplyRuns).
+func ApplyRun(dst []byte, r Run) {
+	switch len(r.Data) {
+	case 8:
+		if r.Off+8 <= len(dst) {
+			binary.LittleEndian.PutUint64(dst[r.Off:], binary.LittleEndian.Uint64(r.Data))
+			return
+		}
+	case 4:
+		if r.Off+4 <= len(dst) {
+			binary.LittleEndian.PutUint32(dst[r.Off:], binary.LittleEndian.Uint32(r.Data))
+			return
+		}
+	}
+	copy(dst[r.Off:], r.Data)
 }
 
 // RunsBytes returns the total data bytes across runs.

@@ -400,8 +400,11 @@ func TestTwinPooling(t *testing.T) {
 	m.MakeTwin(0)
 	first := &m.twins[0][0]
 	m.DropTwin(0)
-	if m.pool.Len() != 1 {
-		t.Fatalf("pool length after DropTwin = %d, want 1", m.pool.Len())
+	// A Get miss carves a chunk of buffers, so the pool holds the
+	// dropped twin plus its chunk-mates; LIFO order guarantees the
+	// dropped twin is reused first.
+	if m.pool.Len() < 1 {
+		t.Fatalf("pool empty after DropTwin")
 	}
 	m.Page(1)[0] = 2
 	m.MakeTwin(1)

@@ -65,12 +65,24 @@ var stageNames = [...]string{"SourceLat", "LANaiLat", "NetLat", "DestLat"}
 // String names the stage.
 func (s Stage) String() string { return stageNames[s] }
 
+// Deliverer is the typed counterpart of Packet.OnDeliver: a shared
+// (usually singleton) delivery dispatcher invoked with the packet still
+// in hand, so Dst/Src/Meta/Payload can parameterize one handler object
+// instead of a per-send closure. Runs in engine context at the moment
+// the packet's data lands in destination host memory.
+type Deliverer interface {
+	Deliver(pkt *Packet)
+}
+
 // Packet is one network packet (≤ MaxPacket bytes of simulated payload).
 type Packet struct {
 	Src, Dst int
 	Size     int
 	Kind     string // diagnostic label ("page-req", "diff", "lock-grant", ...)
 	Payload  any
+	// Meta and Meta2 are small protocol-defined integers (message kind,
+	// lock id, ...) that travel with the packet without boxing.
+	Meta, Meta2 int
 
 	// FwHandler, when non-nil, makes the destination NI service the
 	// packet entirely in firmware (remote fetch, NI lock operations):
@@ -84,8 +96,10 @@ type Packet struct {
 
 	// OnDeliver runs when the packet's data has been deposited into
 	// destination host memory (remote-deposit semantics). Ignored for
-	// firmware-handled packets.
+	// firmware-handled packets. DeliverTo is the closure-free variant
+	// and takes precedence when both are set.
 	OnDeliver func()
+	DeliverTo Deliverer
 
 	noSrcDMA bool // firmware-originated packet whose data is already in NI memory
 
@@ -216,6 +230,24 @@ func (ni *NI) launch(pkt *Packet) {
 	t.start()
 }
 
+// LaunchPosted launches a packet whose post-queue slot the caller has
+// already claimed via TryAcquire/Gate.Enqueue (machine-context senders
+// cannot block in Post, so they drive the admission step themselves).
+// The slot is released when the source DMA completes, exactly as for
+// Post.
+func (ni *NI) LaunchPosted(pkt *Packet) { ni.launch(pkt) }
+
+// LaunchPostedBroadcast is LaunchPosted for a broadcast template (see
+// PostBroadcast for the dsts/onDeliver semantics).
+func (ni *NI) LaunchPostedBroadcast(tmpl *Packet, dsts []int, onDeliver func(dst int)) {
+	tmpl.tPost = ni.eng.Now()
+	t := ni.newTransit(tmpl)
+	t.holdsSlot = true
+	t.dsts = dsts
+	t.bcastDeliver = onDeliver
+	t.start()
+}
+
 // PostBroadcast submits one packet that the fabric replicates to every
 // node in dsts (the NI-broadcast extension, paper §5). The host pays
 // one post; each destination receives its own copy of the packet (taken
@@ -246,6 +278,12 @@ func (ni *NI) DepositLocal(size int, fn func()) {
 	})
 }
 
+// DepositLocalHandler is DepositLocal on the typed event path: h.Run
+// fires when the DMA completes, with no closure allocation.
+func (ni *NI) DepositLocalHandler(size int, h sim.Handler) {
+	ni.PCI.EnqueueHandler(ni.pciService(size), h)
+}
+
 // FirmwareRun charges service time on this NI's firmware processor and
 // runs fn when it completes (local firmware work with no packet).
 func (ni *NI) FirmwareRun(service sim.Time, fn func()) {
@@ -254,6 +292,11 @@ func (ni *NI) FirmwareRun(service sim.Time, fn func()) {
 			fn()
 		}
 	})
+}
+
+// FirmwareRunHandler is FirmwareRun on the typed event path.
+func (ni *NI) FirmwareRunHandler(service sim.Time, h sim.Handler) {
+	ni.Firmware.EnqueueHandler(service, h)
 }
 
 // UncontendedOneWay returns the zero-load host-to-host-memory latency for

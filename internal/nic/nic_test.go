@@ -269,22 +269,42 @@ func TestPacketAndTransitRecycleToOrigin(t *testing.T) {
 
 func TestBroadcastCopiesComeFromPool(t *testing.T) {
 	eng, sys, _ := newTestSystem(t)
+	// Pre-warm the origin pools past the broadcast's needs (Get misses
+	// carve whole chunks, which would obscure the recycle count below).
+	ni := sys.NIs[0]
+	var pkts []*Packet
+	for i := 0; i < 4; i++ {
+		pkts = append(pkts, ni.getPacket())
+	}
+	for _, p := range pkts {
+		ni.putPacket(p)
+	}
+	var trs []*transit
+	for i := 0; i < 4; i++ {
+		trs = append(trs, ni.getTransit())
+	}
+	for _, tr := range trs {
+		ni.putTransit(tr)
+	}
+	basePkts, baseTrs := len(ni.pktFree), len(ni.trFree)
+
 	delivered := 0
 	eng.Go("s", func(p *sim.Proc) {
-		tmpl := sys.NIs[0].NewPacket()
+		tmpl := ni.NewPacket()
 		tmpl.Src, tmpl.Dst, tmpl.Size, tmpl.Kind = 0, -1, 128, "bcast"
-		sys.NIs[0].PostBroadcast(p, tmpl, []int{1, 2, 3}, func(int) { delivered++ })
+		ni.PostBroadcast(p, tmpl, []int{1, 2, 3}, func(int) { delivered++ })
 	})
 	eng.RunUntilQuiet()
 	if delivered != 3 {
 		t.Fatalf("delivered %d of 3 copies", delivered)
 	}
-	// Template + three per-destination copies all recycle to the origin.
-	if got := len(sys.NIs[0].pktFree); got != 4 {
-		t.Errorf("origin pool holds %d packets after broadcast, want 4", got)
+	// Template + three per-destination copies all recycle to the origin:
+	// the pools end exactly where they started, a closed loop.
+	if got := len(ni.pktFree); got != basePkts {
+		t.Errorf("origin pool holds %d packets after broadcast, want %d", got, basePkts)
 	}
-	if got := len(sys.NIs[0].trFree); got != 4 {
-		t.Errorf("origin pool holds %d transits after broadcast, want 4", got)
+	if got := len(ni.trFree); got != baseTrs {
+		t.Errorf("origin pool holds %d transits after broadcast, want %d", got, baseTrs)
 	}
 }
 

@@ -111,6 +111,8 @@ func (t *transit) Run(_, end sim.Time) {
 		dst.mon.record(dst.cfg, dst.fabric, pkt)
 		if t.bcastDeliver != nil {
 			t.bcastDeliver(pkt.Dst)
+		} else if pkt.DeliverTo != nil {
+			pkt.DeliverTo.Deliver(pkt)
 		} else if pkt.OnDeliver != nil {
 			pkt.OnDeliver()
 		}
@@ -128,6 +130,8 @@ func (t *transit) fanOut() {
 		cp := t.ni.getPacket()
 		cp.Src, cp.Dst, cp.Size, cp.Kind = tmpl.Src, dst, tmpl.Size, tmpl.Kind
 		cp.Payload = tmpl.Payload
+		cp.Meta, cp.Meta2 = tmpl.Meta, tmpl.Meta2
+		cp.DeliverTo = tmpl.DeliverTo
 		cp.FwService = tmpl.FwService
 		cp.tPost, cp.tSrc, cp.tInject = tmpl.tPost, tmpl.tSrc, tmpl.tInject
 		td := t.ni.getTransit()
@@ -154,7 +158,13 @@ func (ni *NI) getPacket() *Packet {
 		ni.pktFree = ni.pktFree[:n-1]
 		return p
 	}
-	return &Packet{}
+	// Pool miss: allocate a chunk at once so a growing in-flight window
+	// costs one allocation per 16 packets, not one per packet.
+	chunk := make([]Packet, 16)
+	for i := len(chunk) - 1; i > 0; i-- {
+		ni.pktFree = append(ni.pktFree, &chunk[i])
+	}
+	return &chunk[0]
 }
 
 // NewPacket hands callers a pooled Packet for a subsequent Post /
@@ -175,7 +185,11 @@ func (ni *NI) getTransit() *transit {
 		ni.trFree = ni.trFree[:n-1]
 		return t
 	}
-	return &transit{}
+	chunk := make([]transit, 16)
+	for i := len(chunk) - 1; i > 0; i-- {
+		ni.trFree = append(ni.trFree, &chunk[i])
+	}
+	return &chunk[0]
 }
 
 func (ni *NI) putTransit(t *transit) {

@@ -119,6 +119,12 @@ func (g *Gate) Acquire(p *Proc) {
 	g.inUse++
 }
 
+// Enqueue parks a machine-context waiter in the gate's FIFO: the
+// Acquire path for Handler state machines, which cannot block. The
+// waiter is woken by the next Release and must retry TryAcquire,
+// mirroring Acquire's Blocked/BlockedTime accounting itself.
+func (g *Gate) Enqueue(w Waiter) { g.q.Enqueue(w) }
+
 // TryAcquire claims a slot if one is free without blocking.
 func (g *Gate) TryAcquire() bool {
 	if g.inUse >= g.Depth {

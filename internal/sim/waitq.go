@@ -1,44 +1,118 @@
 package sim
 
-// WaitQ is a FIFO queue of blocked processes, the simulation analogue of a
-// condition variable. Wait must be called from process context; WakeOne and
-// WakeAll may be called from any context (they schedule the resumption as a
-// zero-delay event).
-type WaitQ struct {
-	waiters []*Proc
+// Waiter is anything that can park in a WaitQ and be resumed later:
+// goroutine-backed Procs and resumable Handler state machines alike.
+// Unpark schedules the waiter to run at the current virtual time; for a
+// Proc that resumes the goroutine, for a machine it re-enters Run.
+type Waiter interface {
+	Unpark()
 }
 
-// Len returns the number of processes currently blocked on the queue.
-func (q *WaitQ) Len() int { return len(q.waiters) }
+// WaitQ is a FIFO queue of blocked waiters, the simulation analogue of a
+// condition variable. Wait must be called from process context (Enqueue
+// is the machine-context form); WakeOne and WakeAll may be called from
+// any context (they schedule the resumption as a zero-delay event).
+// The oldest waiter lives in the inline slot w0 (the common case is a
+// single waiter, and there are many thousands of WaitQ instances —
+// per page, per lock, per pooled record — so the inline slot avoids
+// ever materializing a backing array for most of them); the next few
+// live in the inline ring wn (enough for every processor of a node to
+// park at once), and only deeper queues spill to the heap-allocated
+// waiters slice. FIFO order across the tiers is w0, wn[:n], waiters.
+// Invariant: w0 is nil only when the queue is empty, and waiters is
+// non-empty only when n == len(wn).
+type WaitQ struct {
+	w0      Waiter
+	n       int8 // occupied slots of wn
+	wn      [3]Waiter
+	waiters []Waiter
+}
+
+// Len returns the number of waiters currently blocked on the queue.
+func (q *WaitQ) Len() int {
+	if q.w0 == nil {
+		return 0
+	}
+	return 1 + int(q.n) + len(q.waiters)
+}
 
 // Wait blocks the calling process until it is woken.
 func (q *WaitQ) Wait(p *Proc) {
-	q.waiters = append(q.waiters, p)
+	q.enq(p)
 	p.Park()
 }
 
-// WakeOne wakes the longest-waiting process, if any, and reports whether a
-// process was woken. The queue compacts in place rather than re-slicing
-// off the front, so the backing array is reused and a steady
+// Enqueue adds a non-goroutine waiter (a Handler state machine) to the
+// queue; the machine must return to the engine loop after calling it
+// and resume from its Unpark.
+func (q *WaitQ) Enqueue(w Waiter) {
+	q.enq(w)
+}
+
+func (q *WaitQ) enq(w Waiter) {
+	if q.w0 == nil {
+		q.w0 = w
+		return
+	}
+	if int(q.n) < len(q.wn) {
+		q.wn[q.n] = w
+		q.n++
+		return
+	}
+	if q.waiters == nil {
+		// First heap overflow: start at a capacity that never regrows
+		// 1->2->4->8 on hot queues.
+		q.waiters = make([]Waiter, 0, 8)
+	}
+	q.waiters = append(q.waiters, w)
+}
+
+// WakeOne wakes the longest-waiting waiter, if any, and reports whether
+// one was woken. The overflow queue compacts in place rather than
+// re-slicing off the front, so the backing array is reused and a steady
 // block/wake cycle allocates nothing.
 func (q *WaitQ) WakeOne() bool {
-	n := len(q.waiters)
-	if n == 0 {
+	w := q.w0
+	if w == nil {
 		return false
 	}
-	p := q.waiters[0]
-	copy(q.waiters, q.waiters[1:])
-	q.waiters[n-1] = nil
-	q.waiters = q.waiters[:n-1]
-	p.Unpark()
+	if q.n > 0 {
+		q.w0 = q.wn[0]
+		copy(q.wn[:], q.wn[1:q.n])
+		q.n--
+		q.wn[q.n] = nil
+		if n := len(q.waiters); n > 0 {
+			// Refill the inline ring from the heap overflow, keeping
+			// FIFO order across the tiers.
+			q.wn[q.n] = q.waiters[0]
+			q.n++
+			copy(q.waiters, q.waiters[1:])
+			q.waiters[n-1] = nil
+			q.waiters = q.waiters[:n-1]
+		}
+	} else {
+		q.w0 = nil
+	}
+	w.Unpark()
 	return true
 }
 
-// WakeAll wakes every waiting process and returns how many were woken.
+// WakeAll wakes every waiter (in FIFO order) and returns how many were
+// woken.
 func (q *WaitQ) WakeAll() int {
-	n := len(q.waiters)
-	for i, p := range q.waiters {
-		p.Unpark()
+	if q.w0 == nil {
+		return 0
+	}
+	q.w0.Unpark()
+	q.w0 = nil
+	n := 1 + int(q.n) + len(q.waiters)
+	for i := int8(0); i < q.n; i++ {
+		q.wn[i].Unpark()
+		q.wn[i] = nil
+	}
+	q.n = 0
+	for i, w := range q.waiters {
+		w.Unpark()
 		q.waiters[i] = nil // release, but keep the backing array
 	}
 	q.waiters = q.waiters[:0]
@@ -63,6 +137,17 @@ func (f *Flag) Set() {
 
 // IsSet reports whether the flag has been raised.
 func (f *Flag) IsSet() bool { return f.set }
+
+// Reset lowers the flag for reuse, keeping the wait queue's backing
+// array. It must only be called when no waiter is still parked (every
+// woken waiter has resumed), e.g. when recycling a pooled record whose
+// single waiter has consumed the result.
+func (f *Flag) Reset() {
+	if f.q.Len() != 0 {
+		panic("sim: Flag.Reset with parked waiters")
+	}
+	f.set = false
+}
 
 // Wait blocks p until the flag is set.
 func (f *Flag) Wait(p *Proc) {
@@ -93,4 +178,13 @@ func (c *Counter) WaitFor(p *Proc, target uint64) {
 	for c.val < target {
 		c.q.Wait(p)
 	}
+}
+
+// Reset zeroes the counter for reuse, keeping the wait queue's backing
+// array. It must only be called when no waiter is still parked.
+func (c *Counter) Reset() {
+	if c.q.Len() != 0 {
+		panic("sim: Counter.Reset with parked waiters")
+	}
+	c.val = 0
 }

@@ -65,7 +65,7 @@ func BenchmarkRemoteFetch(b *testing.B) {
 	done := 0
 	eng.Go("fetcher", func(p *sim.Proc) {
 		for i := 0; i < b.N; i++ {
-			l.Endpoint(0).RemoteFetch(p, 1, 4096, "page", nil)
+			l.Endpoint(0).RemoteFetch(p, 1, 4096, "page-req", "page-reply", 7)
 			done++
 		}
 	})

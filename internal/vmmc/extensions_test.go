@@ -115,7 +115,7 @@ func TestRemoteFetchFromSelfPanics(t *testing.T) {
 				t.Error("self-fetch did not panic")
 			}
 		}()
-		l.Endpoint(1).RemoteFetch(p, 1, 64, "x", nil)
+		l.Endpoint(1).RemoteFetch(p, 1, 64, "x-req", "x-reply", 0)
 	})
 	eng.RunUntilQuiet()
 }
@@ -128,7 +128,7 @@ func TestInterruptWithoutSinkPanics(t *testing.T) {
 		}
 	}()
 	eng.Go("s", func(p *sim.Proc) {
-		l.Endpoint(0).SendInterrupt(p, 1, 16, "oops", nil)
+		l.Endpoint(0).SendInterrupt(p, 1, 16, MsgKind(99), nil)
 	})
 	eng.RunUntilQuiet()
 }

@@ -39,7 +39,8 @@ type acquireWait struct {
 }
 
 // pendingAcquires tracks the (single) outstanding remote acquire per
-// lock at this node; the protocol layer guarantees one per node.
+// lock at this node; the protocol layer guarantees one per node. The
+// record persists across acquires (reset, not deleted, when consumed).
 func (ep *Endpoint) pendingAcquire(id int) *acquireWait {
 	if ep.acq == nil {
 		ep.acq = map[int]*acquireWait{}
@@ -50,6 +51,76 @@ func (ep *Endpoint) pendingAcquire(id int) *acquireWait {
 		ep.acq[id] = w
 	}
 	return w
+}
+
+// lockOpKind selects a lockOp's action.
+type lockOpKind int
+
+const (
+	opAcqHome lockOpKind = iota
+	opRelease
+	opGrantDeposit
+)
+
+// lockOp is a pooled typed completion record (sim.Handler) for the
+// NI-lock firmware and DMA steps, replacing the per-operation closure
+// chain. The record is released at the start of Run: the remaining work
+// may start another lock operation on the same endpoint, which then
+// reuses it.
+type lockOp struct {
+	ep      *Endpoint
+	kind    lockOpKind
+	id      int
+	payload any
+	psize   int
+}
+
+func (o *lockOp) Run(_, _ sim.Time) {
+	ep, id, kind := o.ep, o.id, o.kind
+	payload, psize := o.payload, o.psize
+	o.payload = nil
+	ep.putLockOp(o)
+	switch kind {
+	case opAcqHome:
+		// Home-local acquire reached the firmware: chain and hand off.
+		l := ep.homeLock(id)
+		prev := l.lastOwner
+		l.lastOwner = ep.Node
+		ep.fwHandoff(prev, id, ep.Node)
+	case opRelease:
+		ol := ep.ownedLockState(id)
+		if !ol.isOwner || !ol.held {
+			panic(fmt.Sprintf("vmmc: NILockRelease of lock %d at node %d not held (owner=%v held=%v)",
+				id, ep.Node, ol.isOwner, ol.held))
+		}
+		ol.held = false
+		ol.payload = payload
+		ol.payloadSize = psize
+		if ol.hasNext {
+			next := ol.next
+			ol.hasNext = false
+			ep.fwGrant(id, next, ol)
+		}
+	case opGrantDeposit:
+		// The grant DMA landed in host memory: wake the acquirer.
+		w := ep.pendingAcquire(id)
+		w.payload = payload
+		w.flag.Set()
+	}
+}
+
+func (ep *Endpoint) getLockOp() *lockOp {
+	if k := len(ep.lockOpFree); k > 0 {
+		o := ep.lockOpFree[k-1]
+		ep.lockOpFree[k-1] = nil
+		ep.lockOpFree = ep.lockOpFree[:k-1]
+		return o
+	}
+	return &lockOp{ep: ep}
+}
+
+func (ep *Endpoint) putLockOp(o *lockOp) {
+	ep.lockOpFree = append(ep.lockOpFree, o)
 }
 
 func (ep *Endpoint) homeLock(id int) *niLock {
@@ -92,30 +163,56 @@ func (ep *Endpoint) NILockAcquire(p *sim.Proc, id int) any {
 	if home == ep.Node {
 		// Local home: the request is a host->NI post, no network hop.
 		p.Sleep(ep.layer.cfg.Costs.PostOverhead)
-		ep.ni.FirmwareRun(svc, func() {
-			l := ep.homeLock(id)
-			prev := l.lastOwner
-			l.lastOwner = ep.Node
-			ep.fwHandoff(prev, id, ep.Node)
-		})
+		op := ep.getLockOp()
+		op.kind, op.id = opAcqHome, id
+		ep.ni.FirmwareRunHandler(svc, op)
 	} else {
 		req := ep.ni.NewPacket()
 		req.Src, req.Dst, req.Size, req.Kind = ep.Node, home, lockMsgSize, "ni-lock-acq"
+		req.Meta = id
 		req.FwService = svc
-		req.FwHandler = func(homeNI *nic.NI, _ *nic.Packet) {
-			hep := ep.layer.eps[home]
-			l := hep.homeLock(id)
-			prev := l.lastOwner
-			l.lastOwner = ep.Node
-			hep.fwHandoff(prev, id, ep.Node)
-		}
+		req.FwHandler = ep.layer.lockAcqFw
 		ep.ni.Post(p, req)
 	}
 
 	w.flag.Wait(p)
 	payload := w.payload
-	delete(ep.acq, id)
+	w.payload = nil
+	w.flag.Reset()
 	return payload
+}
+
+// Shared firmware handlers for the three NI-lock packet kinds, bound
+// once per Layer at construction: the lock id rides pkt.Meta (and the
+// requester pkt.Meta2 on forwards), so one long-lived method value
+// replaces a closure per packet. Each runs on the destination NI in
+// engine context.
+
+// fwLockAcq services "ni-lock-acq" at the home NI: chain the requester
+// (pkt.Src) and hand the lock off from the previous tail.
+func (l *Layer) fwLockAcq(_ *nic.NI, pkt *nic.Packet) {
+	hep := l.eps[pkt.Dst]
+	lk := hep.homeLock(pkt.Meta)
+	prev := lk.lastOwner
+	lk.lastOwner = pkt.Src
+	hep.fwHandoff(prev, pkt.Meta, pkt.Src)
+}
+
+// fwLockFwd services "ni-lock-fwd" at the previous owner: Meta is the
+// lock id, Meta2 the requester.
+func (l *Layer) fwLockFwd(_ *nic.NI, pkt *nic.Packet) {
+	l.eps[pkt.Dst].fwReceiveHandoff(pkt.Meta, pkt.Meta2)
+}
+
+// fwLockGrant services "ni-lock-grant" at the requester: ownership
+// arrives with the opaque payload in pkt.Payload (pkt.Size is the full
+// grant size, lockMsgSize + payload size).
+func (l *Layer) fwLockGrant(_ *nic.NI, pkt *nic.Packet) {
+	rep := l.eps[pkt.Dst]
+	rol := rep.ownedLockState(pkt.Meta)
+	rol.isOwner = true
+	rol.held = true
+	rep.depositGrant(pkt.Meta, pkt.Payload, pkt.Size)
 }
 
 // fwHandoff runs at the home NI: tell the previous chain tail to hand
@@ -128,10 +225,9 @@ func (ep *Endpoint) fwHandoff(prevOwner, id, requester int) {
 	}
 	fwd := ep.ni.NewPacket()
 	fwd.Src, fwd.Dst, fwd.Size, fwd.Kind = ep.Node, prevOwner, lockMsgSize, "ni-lock-fwd"
+	fwd.Meta, fwd.Meta2 = id, requester
 	fwd.FwService = ep.layer.cfg.Costs.NILockService
-	fwd.FwHandler = func(_ *nic.NI, _ *nic.Packet) {
-		ep.layer.eps[prevOwner].fwReceiveHandoff(id, requester)
-	}
+	fwd.FwHandler = ep.layer.lockFwdFw
 	ep.ni.FirmwareSend(fwd, false)
 }
 
@@ -159,35 +255,28 @@ func (ep *Endpoint) fwGrant(id, requester int, ol *ownedLock) {
 	ol.isOwner = false
 	ol.payload = nil
 
-	deliver := func(rep *Endpoint) {
-		rol := rep.ownedLockState(id)
-		rol.isOwner = true
-		rol.held = true
-		rep.ni.DepositLocal(lockMsgSize+psize, func() {
-			w := rep.pendingAcquire(id)
-			w.payload = payload
-			w.flag.Set()
-		})
-	}
-
 	if requester == ep.Node {
 		// Re-acquire by the same node: grant locally, no network hop.
 		ol.isOwner = true
 		ol.held = true
-		ep.ni.DepositLocal(lockMsgSize+psize, func() {
-			w := ep.pendingAcquire(id)
-			w.payload = payload
-			w.flag.Set()
-		})
+		ep.depositGrant(id, payload, lockMsgSize+psize)
 		return
 	}
 	grant := ep.ni.NewPacket()
 	grant.Src, grant.Dst, grant.Size, grant.Kind = ep.Node, requester, lockMsgSize+psize, "ni-lock-grant"
+	grant.Meta = id
+	grant.Payload = payload
 	grant.FwService = ep.layer.cfg.Costs.NILockService
-	grant.FwHandler = func(_ *nic.NI, _ *nic.Packet) {
-		deliver(ep.layer.eps[requester])
-	}
+	grant.FwHandler = ep.layer.lockGrantFw
 	ep.ni.FirmwareSend(grant, false)
+}
+
+// depositGrant DMAs a received (or locally re-acquired) grant into this
+// host's memory; the pooled completion record wakes the acquirer.
+func (ep *Endpoint) depositGrant(id int, payload any, size int) {
+	op := ep.getLockOp()
+	op.kind, op.id, op.payload = opGrantDeposit, id, payload
+	ep.ni.DepositLocalHandler(size, op)
 }
 
 // NILockRelease releases lock id, storing payload (the protocol
@@ -195,19 +284,7 @@ func (ep *Endpoint) fwGrant(id, requester int, ol *ownedLock) {
 // chained, the NI hands the lock over without host involvement.
 func (ep *Endpoint) NILockRelease(p *sim.Proc, id int, payload any, payloadSize int) {
 	p.Sleep(ep.layer.cfg.Costs.PostOverhead)
-	ep.ni.FirmwareRun(ep.layer.cfg.Costs.NILockService, func() {
-		ol := ep.ownedLockState(id)
-		if !ol.isOwner || !ol.held {
-			panic(fmt.Sprintf("vmmc: NILockRelease of lock %d at node %d not held (owner=%v held=%v)",
-				id, ep.Node, ol.isOwner, ol.held))
-		}
-		ol.held = false
-		ol.payload = payload
-		ol.payloadSize = payloadSize
-		if ol.hasNext {
-			next := ol.next
-			ol.hasNext = false
-			ep.fwGrant(id, next, ol)
-		}
-	})
+	op := ep.getLockOp()
+	op.kind, op.id, op.payload, op.psize = opRelease, id, payload, payloadSize
+	ep.ni.FirmwareRunHandler(ep.layer.cfg.Costs.NILockService, op)
 }

@@ -26,18 +26,59 @@ import (
 	"genima/internal/topo"
 )
 
+// MsgKind is the integer protocol-message discriminator for
+// interrupt-class deliveries. The protocol core dispatches on it with a
+// dense switch (no string compare, no map); String() recovers the
+// packet-trace label.
+type MsgKind uint8
+
+// Interrupt-class protocol message kinds (the SVM core's request set).
+const (
+	MsgInvalid MsgKind = iota
+	MsgPageReq
+	MsgDiff
+	MsgLockReq
+	MsgLockFwd
+	MsgBarArrive
+	MsgBarRelease
+)
+
+var msgKindLabels = [...]string{
+	MsgInvalid:    "invalid",
+	MsgPageReq:    "page-req",
+	MsgDiff:       "diff",
+	MsgLockReq:    "lock-req",
+	MsgLockFwd:    "lock-fwd",
+	MsgBarArrive:  "bar-arrive",
+	MsgBarRelease: "bar-release",
+}
+
+// String returns the wire-trace label for the kind.
+func (k MsgKind) String() string {
+	if int(k) < len(msgKindLabels) {
+		return msgKindLabels[k]
+	}
+	return "unknown"
+}
+
 // Msg is a message delivered to a host interrupt sink.
 type Msg struct {
 	Src     int
-	Kind    string
-	Size    int
+	Kind    MsgKind
 	Payload any
+}
+
+// MsgSink is the typed interrupt receiver: a persistent per-node object
+// (the protocol machine) that replaces a per-node closure. It runs in
+// engine context after the interrupt dispatch delay.
+type MsgSink interface {
+	HandleMsg(m Msg)
 }
 
 // FetchReq is what a remote-fetch firmware handler receives.
 type FetchReq struct {
 	Src  int // requesting node
-	Tag  any // protocol-defined request descriptor (page id, ...)
+	Tag  int // protocol-defined request descriptor (page id, ...)
 	Size int // requested data size in bytes
 }
 
@@ -53,11 +94,30 @@ type Layer struct {
 	cfg *topo.Config
 	sys *nic.System
 	eps []*Endpoint
+
+	// intrDel is the shared deliverer for every interrupt-class packet
+	// (replaces a per-send OnDeliver closure).
+	intrDel interruptDeliver
+
+	// NI-lock firmware handlers, bound once here so posting a lock
+	// packet allocates no closure (see nilocks.go).
+	lockAcqFw, lockFwdFw, lockGrantFw func(*nic.NI, *nic.Packet)
+}
+
+// interruptDeliver dispatches a delivered interrupt-class packet to the
+// destination endpoint: the packet's Meta carries the MsgKind and
+// Payload the protocol record.
+type interruptDeliver struct{ l *Layer }
+
+func (d *interruptDeliver) Deliver(pkt *nic.Packet) {
+	d.l.eps[pkt.Dst].interrupt(Msg{Src: pkt.Src, Kind: MsgKind(pkt.Meta), Payload: pkt.Payload})
 }
 
 // New builds the layer (one endpoint per node) over a fresh NI system.
 func New(eng *sim.Engine, cfg *topo.Config) *Layer {
 	l := &Layer{eng: eng, cfg: cfg, sys: nic.NewSystem(eng, cfg)}
+	l.intrDel.l = l
+	l.lockAcqFw, l.lockFwdFw, l.lockGrantFw = l.fwLockAcq, l.fwLockFwd, l.fwLockGrant
 	l.eps = make([]*Endpoint, cfg.Nodes)
 	for i := range l.eps {
 		l.eps[i] = &Endpoint{
@@ -74,6 +134,24 @@ func New(eng *sim.Engine, cfg *topo.Config) *Layer {
 // Endpoint returns node n's endpoint.
 func (l *Layer) Endpoint(n int) *Endpoint { return l.eps[n] }
 
+// NI exposes the endpoint's network interface for machine-context
+// senders that drive the post pipeline step by step (sim.Handler state
+// machines cannot block in Post, so they claim the post-queue slot and
+// call LaunchPosted themselves).
+func (ep *Endpoint) NI() *nic.NI { return ep.ni }
+
+// InterruptDeliverer returns the shared deliverer interrupt-class
+// packets carry (with Meta = MsgKind), so machine-built packets follow
+// the exact delivery path of SendInterrupt.
+func (ep *Endpoint) InterruptDeliverer() nic.Deliverer { return &ep.layer.intrDel }
+
+// BroadcastDsts returns the cached everyone-but-self destination set
+// used by broadcast posts.
+func (ep *Endpoint) BroadcastDsts() []int {
+	ep.buildBcastDsts()
+	return ep.bcastDsts
+}
+
 // Monitor returns the NI firmware performance monitor.
 func (l *Layer) Monitor() *nic.Monitor { return l.sys.Monitor }
 
@@ -86,8 +164,12 @@ type Endpoint struct {
 	Node  int
 	ni    *nic.NI
 
-	// InterruptSink receives interrupt-class messages after the
-	// interrupt dispatch delay. Runs in engine context.
+	// Sink receives interrupt-class messages after the interrupt
+	// dispatch delay. Runs in engine context. Takes precedence over
+	// InterruptSink when both are set.
+	Sink MsgSink
+	// InterruptSink is the closure form of Sink (tests, ad-hoc
+	// receivers).
 	InterruptSink func(Msg)
 	// Perturb, if set, is invoked once per interrupt so the caller can
 	// charge scheduling perturbation to a compute processor.
@@ -107,6 +189,12 @@ type Endpoint struct {
 
 	// bcastDsts caches the broadcast destination set (built lazily).
 	bcastDsts []int
+
+	// Deterministic LIFO free lists (memory.BufPool rules: plain
+	// slices, single-threaded engines, reuse order reproducible).
+	intrFree   []*intrEvent
+	fetchFree  []*fetchOp
+	lockOpFree []*lockOp
 
 	Interrupts uint64 // interrupt-class deliveries at this node
 }
@@ -144,6 +232,27 @@ func (ep *Endpoint) Deposit(p *sim.Proc, dst, size int, kind string, payload any
 	}
 }
 
+// DepositTo is Deposit with a typed deliverer instead of a closure: to
+// (a shared dispatcher) is invoked with the final packet, whose Payload
+// carries the protocol record, when the last byte lands.
+func (ep *Endpoint) DepositTo(p *sim.Proc, dst, size int, label string, payload any, to nic.Deliverer) {
+	max := ep.layer.cfg.MaxPacket
+	for rem := size; ; {
+		sz, last := splitStep(rem, max)
+		pkt := ep.ni.NewPacket()
+		pkt.Src, pkt.Dst, pkt.Size, pkt.Kind = ep.Node, dst, sz, label
+		if last {
+			pkt.Payload = payload
+			pkt.DeliverTo = to
+		}
+		ep.ni.Post(p, pkt)
+		if last {
+			break
+		}
+		rem -= sz
+	}
+}
+
 // DepositBroadcast sends one message that the fabric replicates to all
 // other nodes (requires cfg.NIBroadcast hardware): one host post, one
 // source DMA, N deliveries. onDeliver runs once per destination.
@@ -151,19 +260,39 @@ func (ep *Endpoint) DepositBroadcast(p *sim.Proc, size int, kind string, onDeliv
 	if size > ep.layer.cfg.MaxPacket {
 		panic("vmmc: broadcast larger than one packet")
 	}
-	if ep.bcastDsts == nil {
-		// The destination set (everyone but self) never changes; build
-		// it once so repeated broadcasts allocate nothing.
-		ep.bcastDsts = make([]int, 0, ep.layer.cfg.Nodes-1)
-		for d := 0; d < ep.layer.cfg.Nodes; d++ {
-			if d != ep.Node {
-				ep.bcastDsts = append(ep.bcastDsts, d)
-			}
-		}
-	}
+	ep.buildBcastDsts()
 	tmpl := ep.ni.NewPacket()
 	tmpl.Src, tmpl.Dst, tmpl.Size, tmpl.Kind = ep.Node, -1, size, kind
 	ep.ni.PostBroadcast(p, tmpl, ep.bcastDsts, onDeliver)
+}
+
+// DepositBroadcastTo is DepositBroadcast with a typed deliverer: every
+// per-destination copy carries payload and invokes to at its delivery
+// (the deliverer reads the copy's Dst to identify the destination).
+func (ep *Endpoint) DepositBroadcastTo(p *sim.Proc, size int, label string, payload any, to nic.Deliverer) {
+	if size > ep.layer.cfg.MaxPacket {
+		panic("vmmc: broadcast larger than one packet")
+	}
+	ep.buildBcastDsts()
+	tmpl := ep.ni.NewPacket()
+	tmpl.Src, tmpl.Dst, tmpl.Size, tmpl.Kind = ep.Node, -1, size, label
+	tmpl.Payload = payload
+	tmpl.DeliverTo = to
+	ep.ni.PostBroadcast(p, tmpl, ep.bcastDsts, nil)
+}
+
+// buildBcastDsts lazily builds the everyone-but-self destination set
+// once, so repeated broadcasts allocate nothing.
+func (ep *Endpoint) buildBcastDsts() {
+	if ep.bcastDsts != nil {
+		return
+	}
+	ep.bcastDsts = make([]int, 0, ep.layer.cfg.Nodes-1)
+	for d := 0; d < ep.layer.cfg.Nodes; d++ {
+		if d != ep.Node {
+			ep.bcastDsts = append(ep.bcastDsts, d)
+		}
+	}
 }
 
 // DepositGathered sends size bytes of scattered data as ONE message
@@ -180,7 +309,7 @@ func (ep *Endpoint) DepositGathered(p *sim.Proc, dst, size int, kind string, app
 		pkt.Src, pkt.Dst, pkt.Size, pkt.Kind = ep.Node, dst, sz, kind
 		pkt.FwSendExtra = sim.Time(float64(sz) * c.NISGPerByte)
 		pkt.FwService = sim.Time(float64(sz) * c.NISGPerByte)
-		pkt.FwHandler = sgApplyHandler
+		pkt.FwHandler = SGApplyHandler
 		if last && apply != nil {
 			// The scatter-gather payload slot carries the apply hook so
 			// one shared handler serves every sg packet (no per-packet
@@ -195,12 +324,46 @@ func (ep *Endpoint) DepositGathered(p *sim.Proc, dst, size int, kind string, app
 	}
 }
 
-// sgApplyHandler is the shared firmware handler for scatter-gather
+// SGApplier is the typed scatter-gather apply hook: a pooled record
+// implementing it replaces the per-flush closure of DepositGathered.
+type SGApplier interface {
+	ApplySG()
+}
+
+// DepositGatheredTo is DepositGathered with a typed apply record
+// instead of a closure.
+func (ep *Endpoint) DepositGatheredTo(p *sim.Proc, dst, size int, kind string, apply SGApplier) {
+	c := &ep.layer.cfg.Costs
+	max := ep.layer.cfg.MaxPacket
+	for rem := size; ; {
+		sz, last := splitStep(rem, max)
+		pkt := ep.ni.NewPacket()
+		pkt.Src, pkt.Dst, pkt.Size, pkt.Kind = ep.Node, dst, sz, kind
+		pkt.FwSendExtra = sim.Time(float64(sz) * c.NISGPerByte)
+		pkt.FwService = sim.Time(float64(sz) * c.NISGPerByte)
+		pkt.FwHandler = SGApplyHandler
+		if last {
+			pkt.Payload = apply
+		}
+		ep.ni.Post(p, pkt)
+		if last {
+			break
+		}
+		rem -= sz
+	}
+}
+
+// SGApplyHandler is the shared firmware handler for scatter-gather
 // deposits: it scatters the fragment in NI firmware (the service time is
 // on the packet) and runs the apply hook carried by the final fragment.
-func sgApplyHandler(_ *nic.NI, pkt *nic.Packet) {
-	if f, ok := pkt.Payload.(func()); ok {
+// Exported so machine-context senders can stamp it on the packets they
+// build themselves.
+func SGApplyHandler(_ *nic.NI, pkt *nic.Packet) {
+	switch f := pkt.Payload.(type) {
+	case func():
 		f()
+	case SGApplier:
+		f.ApplySG()
 	}
 }
 
@@ -226,29 +389,29 @@ func (ep *Endpoint) DepositFromEvent(dst, size int, kind string, payload any, on
 // SendInterrupt sends a message that interrupts a destination host
 // processor and is handed to the destination's InterruptSink after the
 // interrupt dispatch cost (the Base protocol's delivery mode).
-func (ep *Endpoint) SendInterrupt(p *sim.Proc, dst, size int, kind string, payload any) {
+func (ep *Endpoint) SendInterrupt(p *sim.Proc, dst, size int, kind MsgKind, payload any) {
 	ep.sendInterruptPkts(dst, size, kind, payload, func(pkt *nic.Packet) {
 		ep.ni.Post(p, pkt)
 	})
 }
 
 // SendInterruptFromEvent is SendInterrupt from engine context.
-func (ep *Endpoint) SendInterruptFromEvent(dst, size int, kind string, payload any) {
+func (ep *Endpoint) SendInterruptFromEvent(dst, size int, kind MsgKind, payload any) {
 	ep.sendInterruptPkts(dst, size, kind, payload, func(pkt *nic.Packet) {
 		ep.ni.PostFromEvent(pkt)
 	})
 }
 
-func (ep *Endpoint) sendInterruptPkts(dst, size int, kind string, payload any, post func(*nic.Packet)) {
-	dstEP := ep.layer.eps[dst]
+func (ep *Endpoint) sendInterruptPkts(dst, size int, kind MsgKind, payload any, post func(*nic.Packet)) {
 	max := ep.layer.cfg.MaxPacket
 	for rem := size; ; {
 		sz, last := splitStep(rem, max)
 		pkt := ep.ni.NewPacket()
-		pkt.Src, pkt.Dst, pkt.Size, pkt.Kind = ep.Node, dst, sz, kind
+		pkt.Src, pkt.Dst, pkt.Size, pkt.Kind = ep.Node, dst, sz, kind.String()
 		if last {
 			pkt.Payload = payload
-			pkt.OnDeliver = func() { dstEP.interrupt(Msg{Src: ep.Node, Kind: kind, Size: size, Payload: payload}) }
+			pkt.Meta = int(kind)
+			pkt.DeliverTo = &ep.layer.intrDel
 		}
 		post(pkt)
 		if last {
@@ -258,56 +421,129 @@ func (ep *Endpoint) sendInterruptPkts(dst, size int, kind string, payload any, p
 	}
 }
 
+// intrEvent is a pooled scheduled interrupt dispatch: the Msg rides in
+// the event queue slot itself (via Handler) instead of a closure.
+type intrEvent struct {
+	ep     *Endpoint
+	sink   MsgSink
+	sinkFn func(Msg)
+	m      Msg
+}
+
+// Run implements sim.Handler: hand the message to the sink recorded at
+// interrupt time and recycle the event record.
+func (ev *intrEvent) Run(_, _ sim.Time) {
+	ep, sink, sinkFn, m := ev.ep, ev.sink, ev.sinkFn, ev.m
+	*ev = intrEvent{}
+	ep.intrFree = append(ep.intrFree, ev)
+	if sink != nil {
+		sink.HandleMsg(m)
+		return
+	}
+	sinkFn(m)
+}
+
 func (ep *Endpoint) interrupt(m Msg) {
 	ep.Interrupts++
 	if ep.Perturb != nil {
 		ep.Perturb()
 	}
-	sink := ep.InterruptSink
-	if sink == nil {
+	sink, sinkFn := ep.Sink, ep.InterruptSink
+	if sink == nil && sinkFn == nil {
 		panic(fmt.Sprintf("vmmc: interrupt-class message %q at node %d with no sink", m.Kind, ep.Node))
 	}
-	ep.layer.eng.After(ep.layer.cfg.Costs.Interrupt, func() { sink(m) })
+	var ev *intrEvent
+	if n := len(ep.intrFree); n > 0 {
+		ev = ep.intrFree[n-1]
+		ep.intrFree[n-1] = nil
+		ep.intrFree = ep.intrFree[:n-1]
+	} else {
+		ev = &intrEvent{}
+	}
+	ev.ep, ev.sink, ev.sinkFn, ev.m = ep, sink, sinkFn, m
+	eng := ep.layer.eng
+	now := eng.Now()
+	eng.AtHandler(now+ep.layer.cfg.Costs.Interrupt, now, ev)
 }
+
+// fetchOp is one outstanding RemoteFetch: a pooled record that serves as
+// the request packet's payload (so one shared firmware handler replaces
+// the per-fetch closure) and carries the reply back to the blocked
+// requester.
+type fetchOp struct {
+	ep         *Endpoint // requesting endpoint
+	home       int
+	size       int
+	tag        int
+	replyLabel string
+	reply      FetchReply
+	done       sim.Flag
+}
+
+// fetchReqFw is the shared firmware handler for remote-fetch request
+// packets; it runs on the home NI.
+func fetchReqFw(homeNI *nic.NI, pkt *nic.Packet) {
+	op := pkt.Payload.(*fetchOp)
+	home := op.home
+	srv := op.ep.layer.eps[home].FetchServer
+	if srv == nil {
+		panic(fmt.Sprintf("vmmc: remote fetch at node %d with no FetchServer", home))
+	}
+	op.reply = srv(FetchReq{Src: op.ep.Node, Tag: op.tag, Size: op.size})
+	max := op.ep.layer.cfg.MaxPacket
+	for rem := op.reply.Size; ; {
+		sz, last := splitStep(rem, max)
+		rp := homeNI.NewPacket()
+		rp.Src, rp.Dst, rp.Size, rp.Kind = home, op.ep.Node, sz, op.replyLabel
+		if last {
+			rp.Payload = op
+			rp.DeliverTo = fetchReplyDel
+		}
+		homeNI.FirmwareSend(rp, true) // data DMA'd from host memory
+		if last {
+			break
+		}
+		rem -= sz
+	}
+}
+
+// fetchDeliver completes a RemoteFetch when the last reply byte lands.
+type fetchDeliver struct{}
+
+var fetchReplyDel fetchDeliver
+
+func (fetchDeliver) Deliver(pkt *nic.Packet) { pkt.Payload.(*fetchOp).done.Set() }
 
 // RemoteFetch pulls size bytes of exported memory from node home,
 // serviced entirely by the home NI's firmware; the calling process
 // blocks until the reply is deposited locally. The home node's
-// FetchServer produces the data.
-func (ep *Endpoint) RemoteFetch(p *sim.Proc, home, size int, kind string, tag any) FetchReply {
+// FetchServer produces the data. reqLabel/replyLabel are the packet
+// trace labels for the request and reply legs.
+func (ep *Endpoint) RemoteFetch(p *sim.Proc, home, size int, reqLabel, replyLabel string, tag int) FetchReply {
 	if home == ep.Node {
 		panic("vmmc: RemoteFetch from self")
 	}
-	var reply FetchReply
-	var done sim.Flag
-	req := ep.ni.NewPacket()
-	req.Src, req.Dst, req.Size, req.Kind = ep.Node, home, 16, kind+"-req"
-	req.FwService = ep.layer.cfg.Costs.NIFetchService
-	req.FwHandler = func(homeNI *nic.NI, _ *nic.Packet) {
-		srv := ep.layer.eps[home].FetchServer
-		if srv == nil {
-			panic(fmt.Sprintf("vmmc: remote fetch at node %d with no FetchServer", home))
-		}
-		r := srv(FetchReq{Src: ep.Node, Tag: tag, Size: size})
-		max := ep.layer.cfg.MaxPacket
-		for rem := r.Size; ; {
-			sz, last := splitStep(rem, max)
-			rp := homeNI.NewPacket()
-			rp.Src, rp.Dst, rp.Size, rp.Kind = home, ep.Node, sz, kind+"-reply"
-			if last {
-				rp.OnDeliver = func() {
-					reply = r
-					done.Set()
-				}
-			}
-			homeNI.FirmwareSend(rp, true) // data DMA'd from host memory
-			if last {
-				break
-			}
-			rem -= sz
-		}
+	var op *fetchOp
+	if n := len(ep.fetchFree); n > 0 {
+		op = ep.fetchFree[n-1]
+		ep.fetchFree[n-1] = nil
+		ep.fetchFree = ep.fetchFree[:n-1]
+	} else {
+		op = &fetchOp{}
 	}
+	op.ep, op.home, op.size, op.tag, op.replyLabel = ep, home, size, tag, replyLabel
+	req := ep.ni.NewPacket()
+	req.Src, req.Dst, req.Size, req.Kind = ep.Node, home, 16, reqLabel
+	req.FwService = ep.layer.cfg.Costs.NIFetchService
+	req.FwHandler = fetchReqFw
+	req.Payload = op
 	ep.ni.Post(p, req)
-	done.Wait(p)
+	op.done.Wait(p)
+	reply := op.reply
+	// The single waiter has resumed, so the op (and its embedded Flag)
+	// can be reset and recycled; Reset keeps the flag's queue storage.
+	op.ep, op.replyLabel, op.reply = nil, "", FetchReply{}
+	op.done.Reset()
+	ep.fetchFree = append(ep.fetchFree, op)
 	return reply
 }

@@ -52,10 +52,10 @@ func TestInterruptDelivery(t *testing.T) {
 	l.Endpoint(1).InterruptSink = func(m Msg) { sunk = m; sunkAt = eng.Now() }
 	l.Endpoint(1).Perturb = func() { perturbs++; deliveredAt = eng.Now() }
 	eng.Go("s", func(p *sim.Proc) {
-		l.Endpoint(0).SendInterrupt(p, 1, 32, "page-req", 42)
+		l.Endpoint(0).SendInterrupt(p, 1, 32, MsgPageReq, 42)
 	})
 	eng.RunUntilQuiet()
-	if sunk.Payload != 42 || sunk.Src != 0 || sunk.Kind != "page-req" {
+	if sunk.Payload != 42 || sunk.Src != 0 || sunk.Kind != MsgPageReq {
 		t.Fatalf("sunk = %+v", sunk)
 	}
 	if got := sunkAt - deliveredAt; got != cfg.Costs.Interrupt {
@@ -72,7 +72,7 @@ func TestInterruptDelivery(t *testing.T) {
 func TestRemoteFetchRoundTrip(t *testing.T) {
 	eng, l, _ := newLayer(2)
 	l.Endpoint(1).FetchServer = func(req FetchReq) FetchReply {
-		if req.Tag != "page-7" || req.Src != 0 {
+		if req.Tag != 7 || req.Src != 0 {
 			t.Errorf("req = %+v", req)
 		}
 		return FetchReply{Payload: "data", Size: 4096}
@@ -80,7 +80,7 @@ func TestRemoteFetchRoundTrip(t *testing.T) {
 	var got FetchReply
 	var at sim.Time
 	eng.Go("s", func(p *sim.Proc) {
-		got = l.Endpoint(0).RemoteFetch(p, 1, 4096, "page", "page-7")
+		got = l.Endpoint(0).RemoteFetch(p, 1, 4096, "page-req", "page-reply", 7)
 		at = p.Now()
 	})
 	eng.RunUntilQuiet()
@@ -101,7 +101,7 @@ func TestRemoteFetchOneWord(t *testing.T) {
 	}
 	var at sim.Time
 	eng.Go("s", func(p *sim.Proc) {
-		l.Endpoint(0).RemoteFetch(p, 1, 8, "word", nil)
+		l.Endpoint(0).RemoteFetch(p, 1, 8, "word-req", "word-reply", 0)
 		at = p.Now()
 	})
 	eng.RunUntilQuiet()
