@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench-json bench-mem bench-guard
+.PHONY: check build vet test race smoke-faults bench-smoke bench-json bench-mem bench-guard
 
-check: build vet test race
+check: build vet test race smoke-faults
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# smoke-faults exercises the fault-injection + NI reliable-delivery
+# recovery path end to end: one short app at a 1% drop rate (with dups,
+# delays, and corruption mixed in), validated against the sequential
+# reference.
+smoke-faults:
+	$(GO) run ./cmd/genima-run -app fft -scale test -proto GeNIMA \
+		-faults 0.01 -fault-seed 42 > /dev/null
 
 # bench-smoke runs every micro- and suite-benchmark once — a fast "do
 # the benchmarks still build and run" gate, not a measurement.

@@ -28,7 +28,7 @@ import (
 import genima "genima"
 
 var (
-	expFlag    = flag.String("exp", "all", "comma-separated experiments: fig1,fig2,fig3,fig4,table1,table2,table3,table4,table5 or all; plus scaling (not in all)")
+	expFlag    = flag.String("exp", "all", "comma-separated experiments: fig1,fig2,fig3,fig4,table1,table2,table3,table4,table5 or all; plus scaling and faultsweep (not in all)")
 	scaleFlag  = flag.String("scale", "bench", "problem scale: test or bench")
 	verifyFlag = flag.Bool("verify", false, "validate every run against the sequential reference")
 	nodesFlag  = flag.Int("nodes", 4, "SMP nodes for the main suite (the paper uses 4)")
@@ -39,6 +39,8 @@ var (
 	memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchJSON  = flag.String("benchjson", "", "time the suite serial vs parallel and write a JSON summary to this file (skips the experiment output)")
 	benchGuard = flag.String("benchguard", "", "compare current serial throughput against this committed BENCH_sim.json and exit nonzero on a >25% regression")
+	faultsFlag = flag.Float64("faults", 0, "link fault injection for the main suite: packet drop rate (0,1) per FaultMix; 0 disables")
+	seedFlag   = flag.Uint64("fault-seed", 1, "deterministic seed for -faults and the faultsweep experiment")
 )
 
 func fatal(err error) {
@@ -289,6 +291,9 @@ func main() {
 		cfg := genima.DefaultConfig()
 		cfg.Nodes = *nodesFlag
 		cfg.ProcsPerNode = *procsFlag
+		if *faultsFlag > 0 {
+			cfg.Faults = genima.FaultMix(*faultsFlag, *seedFlag)
+		}
 		s, err := genima.RunSuite(cfg, genima.SuiteOptions{
 			Scale:    scale,
 			Hardware: true,
@@ -333,6 +338,13 @@ func main() {
 	}
 	if want["scaling"] {
 		d, err := genima.Scaling(scale, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(d)
+	}
+	if want["faultsweep"] {
+		d, err := genima.FaultSweep(scale, *seedFlag, progress)
 		if err != nil {
 			fatal(err)
 		}

@@ -34,6 +34,8 @@ var (
 	sgFlag     = flag.Bool("sg", false, "enable the NI scatter-gather extension for direct diffs")
 	bcastFlag  = flag.Bool("broadcast", false, "enable NI broadcast for write notices")
 	traceFlag  = flag.String("trace", "", "write a per-packet trace to this file")
+	faultsFlag = flag.Float64("faults", 0, "link fault injection: packet drop rate (0,1), with dups/delays/corruption mixed in per FaultMix; 0 disables")
+	seedFlag   = flag.Uint64("fault-seed", 1, "deterministic seed for the fault plan (used with -faults)")
 )
 
 func main() {
@@ -52,6 +54,9 @@ func main() {
 	cfg.ProcsPerNode = *procsFlag
 	cfg.ScatterGather = *sgFlag
 	cfg.NIBroadcast = *bcastFlag
+	if *faultsFlag > 0 {
+		cfg.Faults = genima.FaultMix(*faultsFlag, *seedFlag)
+	}
 
 	seq, seqWS, err := genima.RunSequential(cfg, entry.App)
 	if err != nil {
@@ -122,9 +127,17 @@ func main() {
 			fmt.Printf("post-queue stalls: %d (%.3f s lost)\n",
 				res.PostQueueStalls, stats.Seconds(res.PostQueueStallTime))
 		}
-		if res.PostQueueOverflows > 0 {
-			fmt.Printf("post-queue overflows (event-context posts past a full queue): %d\n",
-				res.PostQueueOverflows)
+		fmt.Printf("post-queue overflows (event-context posts past a full queue): %d\n",
+			res.PostQueueOverflows)
+		if f := &res.Faults; f.Any() {
+			fmt.Println("\nFault injection and NI reliable delivery:")
+			fmt.Printf("  injected: %d drops, %d dups, %d delays, %d corruptions, %d down-window drops\n",
+				f.DropsInjected, f.DupsInjected, f.DelaysInjected, f.CorruptsInjected, f.DownDrops)
+			fmt.Printf("  masked:   %d retransmissions, %d dups suppressed, %d out-of-order dropped, %d corrupt dropped\n",
+				f.RetxSent, f.DupsSuppressed, f.OOODropped, f.CorruptDropped)
+			fmt.Printf("  acks:     %d standalone, %d piggybacked\n", f.AcksSent, f.PiggybackAcks)
+			fmt.Printf("  recovery: %d packets needed retransmission, mean %.0f us, max %.0f us\n",
+				f.Recovered, float64(f.MeanRecovery())/1000, float64(f.MaxRecovery)/1000)
 		}
 		fmt.Println("\nNI firmware monitor (actual/uncontended per stage):")
 		for _, class := range []nic.Class{nic.Small, nic.Large} {

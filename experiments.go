@@ -541,3 +541,94 @@ func (d *ScalingData) String() string {
 	}
 	return "Scaling study: suite speedups vs cluster size (4-way SMP nodes)\n" + t.String()
 }
+
+// --- Fault sweep: protocol robustness under link faults (new
+// experiment, beyond the paper: the paper's testbed assumes VMMC's
+// reliable delivery; here the NI firmware provides it over lossy
+// links, and the sweep shows what that reliability costs each
+// protocol rung) ---
+
+// FaultSweepData holds mean suite speedups per protocol at each drop
+// rate, with per-rate fault/recovery totals. Every run is validated
+// against the sequential reference, so a row's presence certifies the
+// ladder still computes correct results at that rate.
+type FaultSweepData struct {
+	Seed      uint64
+	Rates     []float64 // drop rates; dup/delay/corrupt ride along per FaultMix
+	Apps      []string
+	Speedups  map[Protocol][]float64 // mean suite speedup, [protocol][rate]
+	Injected  []uint64               // faults injected per rate, summed over the suite
+	Retx      []uint64               // retransmissions per rate
+	RecovToUs []float64              // mean recovery time per rate, µs
+}
+
+// FaultSweepRates is the sweep's drop-rate ladder (0 = faults off).
+func FaultSweepRates() []float64 { return []float64{0, 0.001, 0.005, 0.01} }
+
+// FaultSweep runs the full app x protocol suite at each drop rate in
+// FaultSweepRates with a FaultMix plan seeded by seed, validating
+// every run. It is independent of RunSuite's main-suite callers.
+func FaultSweep(scale Scale, seed uint64, progress func(string)) (*FaultSweepData, error) {
+	d := &FaultSweepData{
+		Seed:     seed,
+		Rates:    FaultSweepRates(),
+		Speedups: map[Protocol][]float64{},
+	}
+	for _, e := range apps.Suite(scale) {
+		d.Apps = append(d.Apps, e.PaperName)
+	}
+	for _, rate := range d.Rates {
+		cfg := DefaultConfig()
+		if rate > 0 {
+			cfg.Faults = FaultMix(rate, seed)
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("fault sweep: drop rate %.2f%%", 100*rate))
+		}
+		s, err := RunSuite(cfg, SuiteOptions{Scale: scale, Verify: true, Progress: progress})
+		if err != nil {
+			return nil, fmt.Errorf("fault sweep at %.2f%% drop: %w", 100*rate, err)
+		}
+		var rep stats.FaultReport
+		for _, k := range Protocols() {
+			sum := 0.0
+			for i, r := range s.SVM[k] {
+				sum += app.Speedup(s.Seq[i], r)
+				rep.Merge(r.Faults)
+			}
+			d.Speedups[k] = append(d.Speedups[k], sum/float64(len(s.SVM[k])))
+		}
+		d.Injected = append(d.Injected, rep.DropsInjected+rep.DupsInjected+
+			rep.DelaysInjected+rep.CorruptsInjected+rep.DownDrops)
+		d.Retx = append(d.Retx, rep.RetxSent)
+		d.RecovToUs = append(d.RecovToUs, float64(rep.MeanRecovery())/1000)
+	}
+	return d, nil
+}
+
+// String renders the sweep as a degradation table.
+func (d *FaultSweepData) String() string {
+	cols := []string{"Protocol"}
+	for _, r := range d.Rates {
+		cols = append(cols, fmt.Sprintf("%.1f%% drop", 100*r))
+	}
+	t := stats.NewTable(cols...)
+	for _, k := range Protocols() {
+		row := []any{k.String()}
+		for ri := range d.Rates {
+			row = append(row, d.Speedups[k][ri])
+		}
+		t.Row(row...)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fault sweep: mean suite speedup vs link fault rate (seed %d, all runs validated)\n", d.Seed)
+	sb.WriteString(t.String())
+	for ri, r := range d.Rates {
+		if r == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "at %.1f%%: %d faults injected, %d retransmissions, mean recovery %.0f us\n",
+			100*r, d.Injected[ri], d.Retx[ri], d.RecovToUs[ri])
+	}
+	return sb.String()
+}

@@ -25,6 +25,7 @@ import (
 	"genima/internal/app"
 	"genima/internal/core"
 	"genima/internal/nic"
+	"genima/internal/stats"
 	"genima/internal/topo"
 )
 
@@ -54,6 +55,30 @@ type Config = topo.Config
 
 // DefaultConfig returns the paper-calibrated 4-node, 4-way-SMP cluster.
 func DefaultConfig() Config { return topo.Default() }
+
+// FaultPlan configures deterministic link-fault injection; set it as
+// Config.Faults (see internal/topo and internal/faults).
+type FaultPlan = topo.FaultPlan
+
+// FaultReport aggregates a run's fault-injection and NI reliable-
+// delivery counters (Result.Faults).
+type FaultReport = stats.FaultReport
+
+// DownWindow takes one host's link(s) down for a virtual-time window
+// (FaultPlan.Down).
+type DownWindow = topo.DownWindow
+
+// Link directions for DownWindow.
+const (
+	BothDirs = topo.BothDirs
+	OutOnly  = topo.OutOnly
+	InOnly   = topo.InOnly
+)
+
+// FaultMix builds a paper-style mixed fault plan around a drop rate:
+// dups at rate/4, reorder delays at rate/2 (up to 100 µs), corruption
+// at rate/4, all drawn deterministically from seed.
+func FaultMix(rate float64, seed uint64) FaultPlan { return topo.FaultMix(rate, seed) }
 
 // App is a workload; the ten paper applications live in
 // internal/apps/..., and external code can implement its own.

@@ -34,6 +34,9 @@ type Result struct {
 	PostQueueStalls    uint64
 	PostQueueStallTime sim.Time
 	PostQueueOverflows uint64
+	// Faults aggregates fault-injection and reliable-delivery counters
+	// (all zeros when fault injection is disabled).
+	Faults stats.FaultReport
 	// Util summarizes communication-substrate occupancy.
 	Util Utilization
 }
@@ -128,6 +131,7 @@ func RunSVMTraced(cfg topo.Config, kind core.Kind, a App, tracer func(nic.TraceE
 		res.Util.MaxBacklog = maxT(res.Util.MaxBacklog, ni.Firmware.MaxQueued)
 	}
 	res.Util.Switch = frac(nis.Fabric.Switch.Stats().BusyTime)
+	res.Faults = nis.FaultReport()
 	return res, ws, nil
 }
 

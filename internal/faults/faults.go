@@ -1,0 +1,180 @@
+// Package faults implements a deterministic, seed-driven network fault
+// plan: per-link packet drop, duplication, reorder-delay, payload
+// corruption, and timed link-down windows. Every decision is drawn from
+// a per-link splitmix64 stream derived from the configured seed — no
+// wall clock, no global rand — so a run with the same topo.Config
+// (including the fault seed) replays byte-identically.
+//
+// The plan is consulted by the NI packet pipeline at the two link
+// crossings of a packet's path: the host-to-switch (out) link and the
+// switch-to-host (in) link. Drop, corruption, and down windows apply to
+// both crossings; duplication and reorder-delay are modeled on the in
+// link only (the last hop, where they are observable by the receiver).
+// The NI-firmware reliable-delivery layer (internal/nic/reliable.go)
+// masks everything the plan injects.
+package faults
+
+import (
+	"genima/internal/sim"
+	"genima/internal/stats"
+	"genima/internal/topo"
+)
+
+// rng is a splitmix64 stream: tiny, fast, and deterministic, with an
+// independent stream per link so adding traffic on one link never
+// perturbs the fault pattern of another.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform draw in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// seedFor derives the initial stream state for one directional link.
+func seedFor(seed uint64, out bool, node int) rng {
+	z := seed ^ (uint64(node)+1)*0x9e3779b97f4a7c15
+	if out {
+		z ^= 0xd1b54a32d192ed03
+	}
+	// One scramble round so adjacent node ids start far apart.
+	r := rng(z)
+	r.next()
+	return r
+}
+
+// Verdict is the plan's decision for one link crossing.
+type Verdict struct {
+	// Drop loses the packet on this crossing.
+	Drop bool
+	// Dup makes the link deliver the packet a second time.
+	Dup bool
+	// CorruptMask, when nonzero, is XOR-ed into the packet's checksum
+	// (modeling flipped payload bits the receiver's checksum catches).
+	CorruptMask uint64
+	// Delay holds the packet for this long after the link, letting later
+	// packets overtake it.
+	Delay sim.Time
+}
+
+// linkState is one directional link's fault stream.
+type linkState struct {
+	r    rng
+	down []topo.DownWindow
+}
+
+func (ls *linkState) isDown(now sim.Time) bool {
+	for _, w := range ls.down {
+		if now >= w.From && now < w.Until {
+			return true
+		}
+	}
+	return false
+}
+
+// Plan is a compiled fault plan for one simulated fabric. It is owned
+// by a single engine and must not be shared across concurrent runs.
+type Plan struct {
+	cfg topo.FaultPlan
+	out []linkState // host -> switch, by host
+	in  []linkState // switch -> host, by host
+
+	// Report counts every injected fault (the *Injected/DownDrops
+	// fields; the reliability fields stay zero here).
+	Report stats.FaultReport
+}
+
+// New compiles a fault plan for a fabric of `nodes` hosts. The plan
+// assumes fp has passed topo validation.
+func New(fp *topo.FaultPlan, nodes int) *Plan {
+	p := &Plan{cfg: *fp, out: make([]linkState, nodes), in: make([]linkState, nodes)}
+	for i := 0; i < nodes; i++ {
+		p.out[i].r = seedFor(fp.Seed, true, i)
+		p.in[i].r = seedFor(fp.Seed, false, i)
+	}
+	for _, w := range fp.Down {
+		if w.Dir == topo.BothDirs || w.Dir == topo.OutOnly {
+			p.out[w.Node].down = append(p.out[w.Node].down, w)
+		}
+		if w.Dir == topo.BothDirs || w.Dir == topo.InOnly {
+			p.in[w.Node].down = append(p.in[w.Node].down, w)
+		}
+	}
+	return p
+}
+
+// JudgeOut decides the fate of a packet that just crossed host `node`'s
+// out link (drop, corruption, and down windows only; duplication and
+// delay are in-link faults).
+func (p *Plan) JudgeOut(node int, now sim.Time) Verdict {
+	ls := &p.out[node]
+	if ls.isDown(now) {
+		p.Report.DownDrops++
+		return Verdict{Drop: true}
+	}
+	var v Verdict
+	// Fixed draw order keeps each link's stream stable across fault
+	// classes: drop, then corrupt.
+	if ls.r.float() < p.cfg.DropRate {
+		v.Drop = true
+		p.Report.DropsInjected++
+	}
+	if ls.r.float() < p.cfg.CorruptRate {
+		v.CorruptMask = ls.r.next() | 1
+		if !v.Drop {
+			p.Report.CorruptsInjected++
+		}
+	}
+	return v
+}
+
+// JudgeIn decides the fate of a packet that just crossed host `node`'s
+// in link: every fault class applies here.
+func (p *Plan) JudgeIn(node int, now sim.Time) Verdict {
+	ls := &p.in[node]
+	if ls.isDown(now) {
+		p.Report.DownDrops++
+		return Verdict{Drop: true}
+	}
+	var v Verdict
+	// Fixed draw order: drop, corrupt, dup, delay.
+	if ls.r.float() < p.cfg.DropRate {
+		v.Drop = true
+		p.Report.DropsInjected++
+	}
+	if ls.r.float() < p.cfg.CorruptRate {
+		v.CorruptMask = ls.r.next() | 1
+		if !v.Drop {
+			p.Report.CorruptsInjected++
+		}
+	}
+	if ls.r.float() < p.cfg.DupRate {
+		v.Dup = true
+		p.Report.DupsInjected++
+	}
+	if ls.r.float() < p.cfg.DelayRate {
+		d := 1 + sim.Time(ls.r.float()*float64(p.cfg.DelayMax))
+		if d > p.cfg.DelayMax {
+			d = p.cfg.DelayMax
+		}
+		v.Delay = d
+		if !v.Drop {
+			p.Report.DelaysInjected++
+		}
+	}
+	return v
+}
+
+// AckEvery returns the configured cumulative-ack threshold with its
+// default applied.
+func (p *Plan) AckEvery() int {
+	if p.cfg.AckEvery > 0 {
+		return p.cfg.AckEvery
+	}
+	return 4
+}

@@ -1,0 +1,142 @@
+package faults
+
+import (
+	"testing"
+
+	"genima/internal/sim"
+	"genima/internal/topo"
+)
+
+func TestStreamsAreDeterministic(t *testing.T) {
+	fp := topo.FaultMix(0.1, 99)
+	a, b := New(&fp, 4), New(&fp, 4)
+	for i := 0; i < 1000; i++ {
+		node := i % 4
+		va, vb := a.JudgeIn(node, sim.Time(i)), b.JudgeIn(node, sim.Time(i))
+		if va != vb {
+			t.Fatalf("draw %d: %+v vs %+v", i, va, vb)
+		}
+		if oa, ob := a.JudgeOut(node, sim.Time(i)), b.JudgeOut(node, sim.Time(i)); oa != ob {
+			t.Fatalf("out draw %d: %+v vs %+v", i, oa, ob)
+		}
+	}
+	if a.Report != b.Report {
+		t.Fatalf("reports diverged: %+v vs %+v", a.Report, b.Report)
+	}
+}
+
+func TestSeedChangesStreams(t *testing.T) {
+	fp1, fp2 := topo.FaultMix(0.2, 1), topo.FaultMix(0.2, 2)
+	a, b := New(&fp1, 2), New(&fp2, 2)
+	same := 0
+	for i := 0; i < 200; i++ {
+		if a.JudgeIn(0, 0) == b.JudgeIn(0, 0) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("different seeds produced identical verdict streams")
+	}
+}
+
+func TestLinksHaveIndependentStreams(t *testing.T) {
+	fp := topo.FaultMix(0.5, 7)
+	p := New(&fp, 2)
+	identical := true
+	for i := 0; i < 100; i++ {
+		if p.JudgeIn(0, 0) != p.JudgeIn(1, 0) {
+			identical = false
+		}
+	}
+	if identical {
+		t.Fatal("nodes 0 and 1 share a fault stream")
+	}
+}
+
+func TestRatesRoughlyHold(t *testing.T) {
+	fp := topo.FaultPlan{Enabled: true, Seed: 3, DropRate: 0.1}
+	p := New(&fp, 1)
+	drops := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if p.JudgeIn(0, 0).Drop {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if got < 0.08 || got > 0.12 {
+		t.Fatalf("10%% drop rate produced %.3f", got)
+	}
+	if p.Report.DropsInjected != uint64(drops) {
+		t.Fatalf("report says %d drops, saw %d", p.Report.DropsInjected, drops)
+	}
+}
+
+func TestDownWindows(t *testing.T) {
+	fp := topo.FaultPlan{
+		Enabled: true,
+		Down: []topo.DownWindow{
+			{Node: 1, Dir: topo.InOnly, From: 100, Until: 200},
+			{Node: 0, Dir: topo.BothDirs, From: 50, Until: 60},
+		},
+	}
+	p := New(&fp, 2)
+	cases := []struct {
+		in   bool
+		node int
+		at   sim.Time
+		drop bool
+	}{
+		{true, 1, 150, true},   // inside node 1's in window
+		{true, 1, 99, false},   // before it
+		{true, 1, 200, false},  // Until is exclusive
+		{false, 1, 150, false}, // out direction unaffected by InOnly
+		{true, 0, 55, true},    // BothDirs covers in
+		{false, 0, 55, true},   // ... and out
+		{false, 0, 60, false},
+	}
+	for i, c := range cases {
+		var v Verdict
+		if c.in {
+			v = p.JudgeIn(c.node, c.at)
+		} else {
+			v = p.JudgeOut(c.node, c.at)
+		}
+		if v.Drop != c.drop {
+			t.Errorf("case %d (%+v): drop=%v", i, c, v.Drop)
+		}
+	}
+	if p.Report.DownDrops != 3 {
+		t.Errorf("DownDrops = %d, want 3", p.Report.DownDrops)
+	}
+}
+
+func TestCorruptMaskNeverZero(t *testing.T) {
+	fp := topo.FaultPlan{Enabled: true, Seed: 5, CorruptRate: 0.999}
+	p := New(&fp, 1)
+	for i := 0; i < 1000; i++ {
+		if v := p.JudgeIn(0, 0); !v.Drop && v.CorruptMask == 0 {
+			// A zero mask would leave the checksum intact and the
+			// "corruption" undetectable and unmasked.
+			t.Fatal("corrupt verdict with zero mask")
+		}
+	}
+}
+
+func TestDelayBounded(t *testing.T) {
+	fp := topo.FaultPlan{Enabled: true, Seed: 6, DelayRate: 0.999, DelayMax: sim.Micro(50)}
+	p := New(&fp, 1)
+	saw := false
+	for i := 0; i < 1000; i++ {
+		v := p.JudgeIn(0, 0)
+		if v.Delay < 0 || v.Delay > sim.Micro(50) {
+			t.Fatalf("delay %d outside (0, %d]", v.Delay, sim.Micro(50))
+		}
+		if v.Delay > 0 {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("no delays drawn at 99.9% rate")
+	}
+}

@@ -6,6 +6,7 @@
 package network
 
 import (
+	"genima/internal/faults"
 	"genima/internal/sim"
 	"genima/internal/topo"
 )
@@ -78,6 +79,12 @@ type Fabric struct {
 	Switch *Switch
 	Out    []*Link // host -> switch
 	In     []*Link // switch -> host
+
+	// Faults is the compiled fault plan, nil when fault injection is
+	// disabled (the common case; nil keeps the fault-free path free of
+	// any per-packet overhead). The NI pipeline consults it at the two
+	// link-crossing boundaries.
+	Faults *faults.Plan
 }
 
 // NewFabric builds the fabric for cfg.Nodes hosts.
@@ -86,6 +93,9 @@ func NewFabric(eng *sim.Engine, cfg *topo.Config) *Fabric {
 		Switch: NewSwitch(eng, cfg.Costs.SwitchFixed),
 		Out:    make([]*Link, cfg.Nodes),
 		In:     make([]*Link, cfg.Nodes),
+	}
+	if cfg.Faults.Enabled {
+		f.Faults = faults.New(&cfg.Faults, cfg.Nodes)
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		f.Out[i] = NewLink(eng, "link-out", cfg.Costs.LinkFixed, cfg.Costs.LinkPerByte)

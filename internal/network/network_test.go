@@ -82,3 +82,86 @@ func TestSwitchSharedAcrossPairs(t *testing.T) {
 		t.Error("switch arbitration did not serialize the two routes")
 	}
 }
+
+// Fault-hook edge cases: the fan-out and drop/delay injection points in
+// the NI pipeline lean on these fabric properties.
+
+// The 4 KB max-packet boundary: service times at MaxPacket must follow
+// the exact per-byte formula (no truncation or rounding cliff at the
+// boundary), since a full page transfer always rides a max-size packet.
+func TestMaxPacketBoundaryServiceTimes(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := topo.Default()
+	f := NewFabric(eng, &cfg)
+	for _, n := range []int{cfg.MaxPacket - 1, cfg.MaxPacket} {
+		want := cfg.Costs.LinkFixed + sim.Time(float64(n)*cfg.Costs.LinkPerByte)
+		if got := f.Out[0].ServiceTime(n); got != want {
+			t.Errorf("out-link service(%d) = %d, want %d", n, got, want)
+		}
+		if got := f.In[0].ServiceTime(n); got != want {
+			t.Errorf("in-link service(%d) = %d, want %d", n, got, want)
+		}
+	}
+	want := f.Out[0].ServiceTime(cfg.MaxPacket) + f.Switch.ServiceTime() +
+		f.In[0].ServiceTime(cfg.MaxPacket)
+	if got := f.UncontendedNet(cfg.MaxPacket); got != want {
+		t.Errorf("UncontendedNet(MaxPacket) = %d, want %d", got, want)
+	}
+	if d := f.UncontendedNet(cfg.MaxPacket) - f.UncontendedNet(cfg.MaxPacket-1); d <= 0 {
+		t.Errorf("last byte at the 4 KB boundary costs %d, want > 0", d)
+	}
+}
+
+// The fault plan hangs off the fabric only when enabled, and with its
+// configured seed: the NI pipeline nil-checks Fabric.Faults for its
+// zero-overhead off switch.
+func TestFabricFaultPlanConstruction(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := topo.Default()
+	if f := NewFabric(eng, &cfg); f.Faults != nil {
+		t.Fatal("fault plan built with faults disabled")
+	}
+	cfg.Faults = topo.FaultMix(0.5, 123)
+	f := NewFabric(eng, &cfg)
+	if f.Faults == nil {
+		t.Fatal("no fault plan built with faults enabled")
+	}
+	saw := false
+	for i := 0; i < 50 && !saw; i++ {
+		v := f.Faults.JudgeIn(0, 0)
+		saw = v.Drop || v.Dup || v.Delay > 0 || v.CorruptMask != 0
+	}
+	if !saw {
+		t.Error("enabled 50% fault plan judged 50 packets clean")
+	}
+}
+
+// Broadcast fan-out replicates onto every destination in-link
+// independently: one slow (busy) in-link must not delay the copies
+// bound for the other destinations — the property that lets a downed
+// link stall only its own destination.
+func TestBroadcastFanOutIndependentInLinks(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := topo.Default()
+	f := NewFabric(eng, &cfg)
+	// Pre-load node 2's in-link with a long transfer.
+	eng.At(0, func() {
+		f.In[2].Transfer(cfg.MaxPacket, func(_, _ sim.Time) {})
+	})
+	arrive := map[int]sim.Time{}
+	eng.At(0, func() {
+		f.Broadcast(0, []int{1, 2, 3}, 64, func(dst int, _, a sim.Time) {
+			arrive[dst] = a
+		})
+	})
+	eng.RunUntilQuiet()
+	if len(arrive) != 3 {
+		t.Fatalf("%d arrivals, want 3", len(arrive))
+	}
+	if arrive[1] != arrive[3] {
+		t.Errorf("idle destinations arrived apart: %d vs %d", arrive[1], arrive[3])
+	}
+	if arrive[2] <= arrive[1] {
+		t.Errorf("busy in-link did not delay its own copy: dst2=%d dst1=%d", arrive[2], arrive[1])
+	}
+}

@@ -81,6 +81,14 @@ func (m *Monitor) record(cfg *topo.Config, fab *network.Fabric, pkt *Packet) {
 	pci := c.PCIFixed + sim.Time(float64(pkt.Size)*c.PCIPerByte)
 	fwSend := c.NIPerPacket/sim.Time(cfg.SendPipelining) + sim.Time(float64(pkt.Size)*c.NIPerByte)
 	fwRecv := c.NIPerPacket + sim.Time(float64(pkt.Size)*c.NIPerByte) + pkt.FwService
+	if cfg.Faults.Enabled {
+		// Reliable delivery charges checksum/seq bookkeeping on both
+		// firmware passes; fold it into the uncontended baseline so
+		// contention ratios stay comparable with faults on.
+		rel := c.NIRelFixed + sim.Time(float64(pkt.Size)*c.NICsumPerByte)
+		fwSend += rel
+		fwRecv += rel
+	}
 	outLink := fab.Out[0].ServiceTime(pkt.Size)
 
 	uSrc := pci

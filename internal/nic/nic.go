@@ -15,6 +15,7 @@ package nic
 import (
 	"genima/internal/network"
 	"genima/internal/sim"
+	"genima/internal/stats"
 	"genima/internal/topo"
 )
 
@@ -101,6 +102,13 @@ type Packet struct {
 	OnDeliver func()
 	DeliverTo Deliverer
 
+	// Reliable-delivery header (see reliable.go); zero when fault
+	// injection is disabled. Seq is the per-(Src,Dst) sequence number,
+	// Ack the piggybacked cumulative ack, Csum the header checksum that
+	// link corruption perturbs.
+	Seq, Ack, Csum uint64
+	RelFlags       uint8
+
 	noSrcDMA bool // firmware-originated packet whose data is already in NI memory
 
 	tPost, tSrc, tInject, tArrive, tDone sim.Time
@@ -126,6 +134,11 @@ type NI struct {
 	Overflows uint64
 
 	mon *Monitor
+
+	// rel is the firmware reliable-delivery engine, non-nil only when
+	// fault injection is enabled (reliable.go). With it nil, the packet
+	// pipeline takes no reliability branches at all.
+	rel *relState
 
 	// Deterministic per-NI free lists for the pooled packet pipeline
 	// (see transit.go).
@@ -161,7 +174,35 @@ func NewSystem(eng *sim.Engine, cfg *topo.Config) *System {
 	for _, ni := range s.NIs {
 		ni.peers = s.NIs
 	}
+	if cfg.Faults.Enabled {
+		ackEvery := fab.Faults.AckEvery()
+		for _, ni := range s.NIs {
+			ni.rel = newRelState(ni, ackEvery)
+		}
+	}
 	return s
+}
+
+// RelReport aggregates the per-NI reliable-delivery counters (zero
+// when fault injection is disabled).
+func (s *System) RelReport() stats.FaultReport {
+	var rep stats.FaultReport
+	for _, ni := range s.NIs {
+		if ni.rel != nil {
+			rep.Merge(ni.rel.Report)
+		}
+	}
+	return rep
+}
+
+// FaultReport aggregates the fault plan's injection counters with the
+// NIs' reliable-delivery counters for a whole run.
+func (s *System) FaultReport() stats.FaultReport {
+	rep := s.RelReport()
+	if s.Fabric.Faults != nil {
+		rep.Merge(s.Fabric.Faults.Report)
+	}
+	return rep
 }
 
 func (ni *NI) pciService(size int) sim.Time {
@@ -170,11 +211,12 @@ func (ni *NI) pciService(size int) sim.Time {
 
 func (ni *NI) fwSendService(size int) sim.Time {
 	per := ni.cfg.Costs.NIPerPacket / sim.Time(ni.cfg.SendPipelining)
-	return per + sim.Time(float64(size)*ni.cfg.Costs.NIPerByte)
+	return per + sim.Time(float64(size)*ni.cfg.Costs.NIPerByte) + ni.relService(size)
 }
 
 func (ni *NI) fwRecvService(size int) sim.Time {
-	return ni.cfg.Costs.NIPerPacket + sim.Time(float64(size)*ni.cfg.Costs.NIPerByte)
+	return ni.cfg.Costs.NIPerPacket + sim.Time(float64(size)*ni.cfg.Costs.NIPerByte) +
+		ni.relService(size)
 }
 
 // Post submits a packet from host process p: it charges the asynchronous

@@ -1,0 +1,438 @@
+package nic
+
+// NI-firmware reliable delivery: the half of VMMC's contract the fabric
+// stops providing once fault injection is on. The firmware keeps
+// per-destination sequence numbers, a checksum over the packet header
+// (standing in for a payload CRC), a pooled retransmission buffer with
+// virtual-time timeout + exponential backoff, duplicate suppression,
+// and cumulative acks piggybacked on reverse traffic — so everything
+// above the firmware line (vmmc, the protocols) still sees reliable,
+// per-flow-FIFO delivery and the host never takes an interrupt for a
+// lost packet.
+//
+// Sequence discipline is go-back-N. Sequence numbers are assigned when
+// the send-firmware stage completes (transit stSrcFW), which is the
+// moment the packet enters the out-link: the firmware resource is FIFO,
+// so per-(src,dst) sequence order always equals wire order and the only
+// sources of out-of-order arrival are injected faults. The receiver
+// accepts exactly the next expected sequence number, suppresses
+// duplicates (Seq <= recvd), and discards later packets (go-back-N has
+// no reassembly buffer), re-acking in both cases. The sender keeps a
+// snapshot of every unacked packet in a pooled retransmission entry;
+// on timeout it retransmits the whole window from NI memory
+// (startAtFirmware, no host DMA) and doubles the timeout up to
+// RetxTimeoutMax, resetting it on cumulative-ack progress.
+//
+// Pool ownership: a retransmission entry snapshots the Packet by VALUE,
+// so the in-flight packet recycles through the normal pipeline pools
+// while the entry lives until acked. The snapshot's Payload pointer is
+// only ever dereferenced at delivery, and sequence gating delivers each
+// number exactly once, so a payload the protocol has already consumed
+// (and possibly recycled) is never touched again through a stale entry.
+//
+// All of this is gated on ni.rel != nil, which is non-nil only when
+// cfg.Faults.Enabled — with faults off, not one branch of this file
+// runs and the event stream is byte-identical to the pre-faults code
+// (see trace_golden_test.go).
+
+import (
+	"fmt"
+
+	"genima/internal/sim"
+	"genima/internal/stats"
+)
+
+// RelFlags bits.
+const (
+	relHasSeq uint8 = 1 << iota // packet carries a sequence number
+	relHasAck                   // packet carries a cumulative ack
+	relCtrl                     // standalone ack: consumed by firmware, never delivered
+)
+
+const (
+	// relAckBytes is the wire size of a standalone cumulative ack.
+	relAckBytes = 16
+	// relMaxAttempts is a tripwire: a packet retransmitted this many
+	// times means the fault plan or backoff logic livelocked.
+	relMaxAttempts = 100
+)
+
+// relChecksum is an FNV-1a hash over the packet header fields the
+// reliability layer must trust (the model's stand-in for a payload
+// CRC). Link corruption XORs a nonzero mask into pkt.Csum, so a
+// corrupted packet always fails this check at the receiver.
+func relChecksum(p *Packet) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	h = fnvMix(h, uint64(int64(p.Src)))
+	h = fnvMix(h, uint64(int64(p.Dst)))
+	h = fnvMix(h, uint64(int64(p.Size)))
+	h = fnvMix(h, uint64(int64(p.Meta)))
+	h = fnvMix(h, uint64(int64(p.Meta2)))
+	h = fnvMix(h, p.Seq)
+	h = fnvMix(h, p.Ack)
+	h = fnvMix(h, uint64(p.RelFlags))
+	return h
+}
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 0x100000001b3
+		v >>= 8
+	}
+	return h
+}
+
+// retxEntry is one unacked packet in the sender's retransmission
+// buffer (modeling the copy VMMC keeps in NI SRAM).
+type retxEntry struct {
+	pkt       Packet    // value snapshot at sequence-stamp time
+	bcast     func(int) // broadcast per-destination deliver, nil for unicast
+	firstSent sim.Time
+	lastSent  sim.Time
+	attempts  int
+}
+
+// relTimer is a rearmable virtual-time timer. The event queue has no
+// cancellation, so disarm/rearm work by deadline: a fired event whose
+// deadline moved later reschedules itself, and a disarmed one
+// (deadline 0) drains without effect. A timer can therefore fire
+// slightly later than its nominal deadline after rapid rearming —
+// harmless for retransmission and delayed-ack purposes — but never
+// earlier, and never leaks: every queued event either fires or drains.
+type relTimer struct {
+	rel      *relState
+	peer     int
+	kind     uint8 // 0 = retransmission, 1 = delayed ack
+	deadline sim.Time
+	nextFire sim.Time
+	queued   int
+}
+
+func (t *relTimer) arm(at sim.Time) {
+	t.deadline = at
+	if t.queued > 0 && t.nextFire <= at {
+		return // an already-queued event covers this deadline
+	}
+	t.queued++
+	t.nextFire = at
+	t.rel.ni.eng.AtHandler(at, at, t)
+}
+
+func (t *relTimer) disarm() { t.deadline = 0 }
+
+// Run implements sim.Handler.
+func (t *relTimer) Run(_, now sim.Time) {
+	t.queued--
+	if t.deadline == 0 || now < t.deadline {
+		if t.deadline != 0 && t.queued == 0 {
+			t.queued++
+			t.nextFire = t.deadline
+			t.rel.ni.eng.AtHandler(t.deadline, t.deadline, t)
+		}
+		return
+	}
+	t.deadline = 0
+	if t.kind == 0 {
+		t.rel.retxFire(t.peer, now)
+	} else {
+		t.rel.ackFire(t.peer, now)
+	}
+}
+
+// relFlow is the reliability state this NI keeps for one peer: the
+// sender side of traffic TO the peer and the receiver side of traffic
+// FROM it (cumulative acks for the latter piggyback on the former).
+type relFlow struct {
+	// Sender side (packets to the peer).
+	nextSeq uint64       // last assigned; first packet gets 1
+	pending []*retxEntry // unacked, in sequence order
+	rto     sim.Time     // current timeout (exponential backoff)
+	retx    relTimer
+
+	// Receiver side (packets from the peer).
+	recvd   uint64 // highest in-order sequence received = cumulative ack
+	unacked int    // accepted deliveries not yet acked
+	ackT    relTimer
+}
+
+// relState is one NI's reliable-delivery engine.
+type relState struct {
+	ni       *NI
+	flows    []relFlow
+	ackEvery int
+
+	// Report counts what this NI's firmware did to mask faults (the
+	// reliability fields of stats.FaultReport; injection fields are
+	// counted by the fault plan itself).
+	Report stats.FaultReport
+
+	entFree []*retxEntry
+}
+
+func newRelState(ni *NI, ackEvery int) *relState {
+	r := &relState{ni: ni, flows: make([]relFlow, len(ni.peers)), ackEvery: ackEvery}
+	for i := range r.flows {
+		f := &r.flows[i]
+		f.retx = relTimer{rel: r, peer: i, kind: 0}
+		f.ackT = relTimer{rel: r, peer: i, kind: 1}
+	}
+	return r
+}
+
+// relService is the extra firmware occupancy reliable delivery charges
+// per packet on each side (checksum + seq/ack bookkeeping).
+func (ni *NI) relService(size int) sim.Time {
+	if ni.rel == nil {
+		return 0
+	}
+	return ni.cfg.Costs.NIRelFixed + sim.Time(float64(size)*ni.cfg.Costs.NICsumPerByte)
+}
+
+// Entry pool: same deterministic LIFO + chunk discipline as the packet
+// pool (see transit.go getPacket).
+func (r *relState) getEntry() *retxEntry {
+	if n := len(r.entFree); n > 0 {
+		e := r.entFree[n-1]
+		r.entFree[n-1] = nil
+		r.entFree = r.entFree[:n-1]
+		return e
+	}
+	chunk := make([]retxEntry, 16)
+	for i := len(chunk) - 1; i > 0; i-- {
+		r.entFree = append(r.entFree, &chunk[i])
+	}
+	return &chunk[0]
+}
+
+func (r *relState) putEntry(e *retxEntry) {
+	*e = retxEntry{}
+	r.entFree = append(r.entFree, e)
+}
+
+// notePiggyback records that an outgoing packet's cumulative ack also
+// settles the receiver side's pending-ack obligation for this peer.
+func (r *relState) notePiggyback(f *relFlow) {
+	if f.unacked > 0 {
+		r.Report.PiggybackAcks++
+		f.unacked = 0
+		f.ackT.disarm()
+	}
+}
+
+// stamp assigns reliability headers when the send-firmware stage
+// completes and the packet is about to enter the wire. Standalone acks
+// get a fresh cumulative ack value; retransmissions (already carrying
+// a sequence number) pass through untouched — retxFire restamped them;
+// everything else gets the next per-destination sequence number, a
+// piggybacked ack, a checksum, and a retransmission entry.
+func (r *relState) stamp(t *transit, now sim.Time) {
+	pkt := t.pkt
+	if pkt.RelFlags&relCtrl != 0 {
+		pkt.Ack = r.flows[pkt.Dst].recvd
+		pkt.Csum = relChecksum(pkt)
+		return
+	}
+	if pkt.RelFlags&relHasSeq != 0 {
+		return
+	}
+	if t.dsts != nil {
+		r.stampBroadcast(t, now)
+		return
+	}
+	f := &r.flows[pkt.Dst]
+	f.nextSeq++
+	pkt.Seq = f.nextSeq
+	pkt.RelFlags = relHasSeq | relHasAck
+	pkt.Ack = f.recvd
+	r.notePiggyback(f)
+	pkt.Csum = relChecksum(pkt)
+
+	e := r.getEntry()
+	e.pkt = *pkt
+	e.firstSent, e.lastSent = now, now
+	e.attempts = 1
+	r.addPending(f, e, now)
+}
+
+// stampBroadcast creates one retransmission entry per destination for
+// a broadcast template. The template itself carries no single (Seq,
+// Csum): its Csum field is zeroed here and accumulates any corruption
+// injected on the shared out-link/switch prefix; fanOut XORs that into
+// each per-destination copy's entry checksum, so shared-prefix
+// corruption is detected at every destination. A template dropped
+// before the fan-out is recovered by per-destination unicast
+// retransmissions from the entries created here.
+func (r *relState) stampBroadcast(t *transit, now sim.Time) {
+	tmpl := t.pkt
+	tmpl.RelFlags = relHasSeq | relHasAck
+	tmpl.Csum = 0
+	for _, dst := range t.dsts {
+		f := &r.flows[dst]
+		f.nextSeq++
+		e := r.getEntry()
+		e.pkt = *tmpl
+		e.pkt.Dst = dst
+		e.pkt.Seq = f.nextSeq
+		e.pkt.Ack = f.recvd
+		r.notePiggyback(f)
+		e.pkt.Csum = relChecksum(&e.pkt)
+		e.bcast = t.bcastDeliver
+		e.firstSent, e.lastSent = now, now
+		e.attempts = 1
+		r.addPending(f, e, now)
+		t.entries = append(t.entries, e)
+	}
+}
+
+func (r *relState) addPending(f *relFlow, e *retxEntry, now sim.Time) {
+	f.pending = append(f.pending, e)
+	if f.retx.deadline == 0 {
+		f.rto = r.ni.cfg.Costs.RetxTimeout
+		f.retx.arm(now + f.rto)
+	}
+}
+
+// retxFire retransmits the whole unacked window to one peer
+// (go-back-N) from NI memory and backs the timeout off.
+func (r *relState) retxFire(peer int, now sim.Time) {
+	f := &r.flows[peer]
+	if len(f.pending) == 0 {
+		return
+	}
+	ni := r.ni
+	for _, e := range f.pending {
+		e.attempts++
+		if e.attempts > relMaxAttempts {
+			panic(fmt.Sprintf("nic: packet %s %d->%d seq %d exceeded %d transmit attempts",
+				e.pkt.Kind, e.pkt.Src, e.pkt.Dst, e.pkt.Seq, relMaxAttempts))
+		}
+		e.lastSent = now
+		r.Report.RetxSent++
+
+		cp := ni.getPacket()
+		*cp = e.pkt
+		cp.Ack = f.recvd // refresh the piggybacked ack
+		cp.Csum = relChecksum(cp)
+		cp.FwSendExtra = 0 // data is already packed in NI memory
+		cp.noSrcDMA = true
+		cp.tPost, cp.tSrc = now, now
+		cp.tInject, cp.tArrive, cp.tDone = 0, 0, 0
+		td := ni.newTransit(cp)
+		td.bcastDeliver = e.bcast
+		td.startAtFirmware()
+	}
+	f.rto *= 2
+	if max := ni.cfg.Costs.RetxTimeoutMax; f.rto > max {
+		f.rto = max
+	}
+	f.retx.arm(now + f.rto)
+}
+
+// processAck retires pending entries covered by a cumulative ack from
+// peer, resets the backoff on progress, and records recovery time for
+// packets that needed retransmission.
+func (r *relState) processAck(peer int, ack uint64, now sim.Time) {
+	f := &r.flows[peer]
+	n := 0
+	for n < len(f.pending) && f.pending[n].pkt.Seq <= ack {
+		e := f.pending[n]
+		if e.attempts > 1 {
+			r.Report.Recovered++
+			d := now - e.firstSent
+			r.Report.TotalRecovery += d
+			if d > r.Report.MaxRecovery {
+				r.Report.MaxRecovery = d
+			}
+		}
+		r.putEntry(e)
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	m := copy(f.pending, f.pending[n:])
+	for i := m; i < len(f.pending); i++ {
+		f.pending[i] = nil
+	}
+	f.pending = f.pending[:m]
+	f.rto = r.ni.cfg.Costs.RetxTimeout
+	if m == 0 {
+		f.retx.disarm()
+	} else {
+		f.retx.arm(now + f.rto)
+	}
+}
+
+// receive is the receiver-side gate, run when the destination firmware
+// stage completes and before the packet is delivered (host DMA or
+// firmware handler). It returns true iff the packet should be
+// delivered; false means the firmware consumed it (ack) or discarded
+// it (corrupt, duplicate, out of order).
+func (r *relState) receive(pkt *Packet, now sim.Time) bool {
+	if pkt.Csum != relChecksum(pkt) {
+		// Corrupted in flight: indistinguishable from loss. The
+		// header (including any ack) cannot be trusted, so nothing
+		// else is processed; the sender's timer recovers.
+		r.Report.CorruptDropped++
+		return false
+	}
+	if pkt.RelFlags&relHasAck != 0 {
+		r.processAck(pkt.Src, pkt.Ack, now)
+	}
+	if pkt.RelFlags&relCtrl != 0 {
+		return false
+	}
+	f := &r.flows[pkt.Src]
+	switch {
+	case pkt.Seq == f.recvd+1:
+		f.recvd++
+		f.unacked++
+		if f.unacked >= r.ackEvery {
+			r.sendAck(pkt.Src)
+		} else {
+			r.armAck(f, now)
+		}
+		return true
+	case pkt.Seq <= f.recvd:
+		r.Report.DupsSuppressed++
+		r.sendAck(pkt.Src)
+		return false
+	default:
+		r.Report.OOODropped++
+		r.sendAck(pkt.Src)
+		return false
+	}
+}
+
+// sendAck emits a standalone cumulative ack to peer from NI memory.
+func (r *relState) sendAck(peer int) {
+	f := &r.flows[peer]
+	f.unacked = 0
+	f.ackT.disarm()
+	r.Report.AcksSent++
+	ni := r.ni
+	p := ni.getPacket()
+	p.Src, p.Dst, p.Size = ni.ID, peer, relAckBytes
+	p.Kind = "rel-ack"
+	p.RelFlags = relCtrl | relHasAck
+	p.Ack = f.recvd
+	p.Csum = relChecksum(p)
+	ni.FirmwareSend(p, false)
+}
+
+// armAck starts the delayed-ack timer so sparse one-way traffic still
+// gets acked within AckDelay even when no reverse packet or ackEvery
+// threshold comes along.
+func (r *relState) armAck(f *relFlow, now sim.Time) {
+	if f.ackT.deadline != 0 {
+		return
+	}
+	f.ackT.arm(now + r.ni.cfg.Costs.AckDelay)
+}
+
+func (r *relState) ackFire(peer int, _ sim.Time) {
+	if r.flows[peer].unacked > 0 {
+		r.sendAck(peer)
+	}
+}

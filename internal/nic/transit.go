@@ -31,6 +31,12 @@ type transit struct {
 	// Broadcast template state (nil/zero on unicast and per-dst copies).
 	dsts         []int
 	bcastDeliver func(dst int)
+
+	// Broadcast retransmission entries, parallel to dsts, filled at
+	// sequence-stamp time when reliable delivery is on (reliable.go).
+	// The slice's capacity survives pooling so steady-state broadcasts
+	// allocate nothing.
+	entries []*retxEntry
 }
 
 // Stage values: the boundary that just completed when Run is invoked.
@@ -42,6 +48,10 @@ const (
 	stInLink              // last byte at the receiving NI
 	stDstFW               // receive-side firmware done
 	stDstPCI              // deposit DMA into destination host memory done
+
+	// stFaultDelay holds a packet the fault plan chose to reorder-delay
+	// after its in-link crossing; only reachable with faults enabled.
+	stFaultDelay
 )
 
 // start begins the pipeline at the source DMA stage.
@@ -71,11 +81,27 @@ func (t *transit) Run(_, end sim.Time) {
 		t.ni.Firmware.EnqueueHandler(t.ni.fwSendService(pkt.Size)+pkt.FwSendExtra, t)
 
 	case stSrcFW:
+		if r := t.ni.rel; r != nil {
+			// Sequence numbers are assigned here, at network entry:
+			// the firmware resource is FIFO, so per-flow sequence
+			// order always equals wire order.
+			r.stamp(t, end)
+		}
 		t.stage = stOutLink
 		t.ni.fabric.Out[pkt.Src].TransferHandler(pkt.Size, t)
 
 	case stOutLink:
 		pkt.tInject = end
+		if F := t.ni.fabric.Faults; F != nil {
+			v := F.JudgeOut(pkt.Src, end)
+			if v.Drop {
+				t.ni.recycle(t)
+				return
+			}
+			// For a broadcast template Csum is zero here, so the mask
+			// accumulates and fanOut folds it into every copy.
+			pkt.Csum ^= v.CorruptMask
+		}
 		t.stage = stSwitch
 		t.ni.fabric.Switch.RouteHandler(t)
 
@@ -89,12 +115,36 @@ func (t *transit) Run(_, end sim.Time) {
 
 	case stInLink:
 		pkt.tArrive = end
-		t.stage = stDstFW
-		dst := t.ni.peers[pkt.Dst]
-		dst.Firmware.EnqueueHandler(dst.fwRecvService(pkt.Size)+pkt.FwService, t)
+		if F := t.ni.fabric.Faults; F != nil {
+			v := F.JudgeIn(pkt.Dst, end)
+			if v.Drop {
+				t.ni.recycle(t)
+				return
+			}
+			pkt.Csum ^= v.CorruptMask
+			if v.Dup {
+				t.dupArrival()
+			}
+			if v.Delay > 0 {
+				t.stage = stFaultDelay
+				t.ni.eng.AtHandler(end+v.Delay, end, t)
+				return
+			}
+		}
+		t.toDstFirmware()
+
+	case stFaultDelay:
+		t.toDstFirmware()
 
 	case stDstFW:
 		dst := t.ni.peers[pkt.Dst]
+		if r := dst.rel; r != nil && !r.receive(pkt, end) {
+			// Consumed (ack) or discarded (corrupt/dup/out-of-order)
+			// by the receive firmware: never delivered, never seen by
+			// the monitor.
+			t.ni.recycle(t)
+			return
+		}
 		if pkt.FwHandler != nil {
 			pkt.tDone = end
 			dst.mon.record(dst.cfg, dst.fabric, pkt)
@@ -120,13 +170,45 @@ func (t *transit) Run(_, end sim.Time) {
 	}
 }
 
+// toDstFirmware enqueues the arrived packet on the destination NI's
+// firmware processor (factored out of Run so the fault-delay stage can
+// share it).
+func (t *transit) toDstFirmware() {
+	pkt := t.pkt
+	t.stage = stDstFW
+	dst := t.ni.peers[pkt.Dst]
+	dst.Firmware.EnqueueHandler(dst.fwRecvService(pkt.Size)+pkt.FwService, t)
+}
+
+// dupArrival models link-level duplication: a second copy of the packet
+// crosses the in-link again and presents itself to the destination
+// firmware. The copy shares the original's reliability header, so the
+// receive gate suppresses whichever of the two arrives second.
+func (t *transit) dupArrival() {
+	pkt := t.pkt
+	cp := t.ni.getPacket()
+	cp.Src, cp.Dst, cp.Size, cp.Kind = pkt.Src, pkt.Dst, pkt.Size, pkt.Kind
+	cp.Payload = pkt.Payload
+	cp.Meta, cp.Meta2 = pkt.Meta, pkt.Meta2
+	cp.FwHandler, cp.FwService = pkt.FwHandler, pkt.FwService
+	cp.DeliverTo, cp.OnDeliver = pkt.DeliverTo, pkt.OnDeliver
+	cp.Seq, cp.Ack, cp.Csum, cp.RelFlags = pkt.Seq, pkt.Ack, pkt.Csum, pkt.RelFlags
+	cp.tPost, cp.tSrc, cp.tInject = pkt.tPost, pkt.tSrc, pkt.tInject
+	td := t.ni.getTransit()
+	td.ni = t.ni
+	td.pkt = cp
+	td.stage = stInLink
+	td.bcastDeliver = t.bcastDeliver
+	t.ni.fabric.In[pkt.Dst].TransferHandler(cp.Size, td)
+}
+
 // fanOut replicates a broadcast template onto every destination in-link
 // (the switch stage just completed). Each destination gets its own
 // pooled Packet copy and transit; the template is recycled here, so the
 // caller's dsts slice is never retained past the switch stage.
 func (t *transit) fanOut() {
 	tmpl := t.pkt
-	for _, dst := range t.dsts {
+	for i, dst := range t.dsts {
 		cp := t.ni.getPacket()
 		cp.Src, cp.Dst, cp.Size, cp.Kind = tmpl.Src, dst, tmpl.Size, tmpl.Kind
 		cp.Payload = tmpl.Payload
@@ -134,6 +216,14 @@ func (t *transit) fanOut() {
 		cp.DeliverTo = tmpl.DeliverTo
 		cp.FwService = tmpl.FwService
 		cp.tPost, cp.tSrc, cp.tInject = tmpl.tPost, tmpl.tSrc, tmpl.tInject
+		if len(t.entries) > 0 {
+			// Per-destination reliability header from the stamp-time
+			// entry; tmpl.Csum carries corruption accumulated on the
+			// shared prefix (zero otherwise).
+			e := t.entries[i]
+			cp.Seq, cp.Ack, cp.RelFlags = e.pkt.Seq, e.pkt.Ack, e.pkt.RelFlags
+			cp.Csum = e.pkt.Csum ^ tmpl.Csum
+		}
 		td := t.ni.getTransit()
 		td.ni = t.ni
 		td.pkt = cp
@@ -193,7 +283,12 @@ func (ni *NI) getTransit() *transit {
 }
 
 func (ni *NI) putTransit(t *transit) {
+	ents := t.entries
+	for i := range ents {
+		ents[i] = nil // entries are owned by the rel layer until acked
+	}
 	*t = transit{}
+	t.entries = ents[:0]
 	ni.trFree = append(ni.trFree, t)
 }
 

@@ -129,6 +129,69 @@ func (a *SVMAccounting) Merge(o SVMAccounting) {
 	a.Interrupts += o.Interrupts
 }
 
+// FaultReport aggregates the fault-injection and NI reliable-delivery
+// counters for one run: what the fault plan injected into the fabric,
+// and what the firmware reliability layer did to mask it. All zeros
+// when fault injection is disabled.
+type FaultReport struct {
+	// Injected by the fault plan, at link granularity.
+	DropsInjected    uint64 // packets lost on a link crossing
+	DupsInjected     uint64 // packets delivered twice by the in-link
+	DelaysInjected   uint64 // packets held for an extra reorder delay
+	CorruptsInjected uint64 // packets with flipped payload bits
+	DownDrops        uint64 // packets lost to a timed link-down window
+
+	// Masked by the NI reliable-delivery layer.
+	RetxSent       uint64 // retransmissions sent (go-back-N bursts)
+	DupsSuppressed uint64 // arrivals below the cumulative ack, discarded
+	OOODropped     uint64 // out-of-order arrivals discarded (go-back-N)
+	CorruptDropped uint64 // checksum-failed arrivals discarded
+	AcksSent       uint64 // standalone cumulative acks
+	PiggybackAcks  uint64 // acks carried by reverse data traffic
+
+	// Recovery time: first transmission to cumulative ack, over packets
+	// that needed at least one retransmission.
+	Recovered     uint64
+	TotalRecovery sim.Time
+	MaxRecovery   sim.Time
+}
+
+// Merge adds o into r.
+func (r *FaultReport) Merge(o FaultReport) {
+	r.DropsInjected += o.DropsInjected
+	r.DupsInjected += o.DupsInjected
+	r.DelaysInjected += o.DelaysInjected
+	r.CorruptsInjected += o.CorruptsInjected
+	r.DownDrops += o.DownDrops
+	r.RetxSent += o.RetxSent
+	r.DupsSuppressed += o.DupsSuppressed
+	r.OOODropped += o.OOODropped
+	r.CorruptDropped += o.CorruptDropped
+	r.AcksSent += o.AcksSent
+	r.PiggybackAcks += o.PiggybackAcks
+	r.Recovered += o.Recovered
+	r.TotalRecovery += o.TotalRecovery
+	if o.MaxRecovery > r.MaxRecovery {
+		r.MaxRecovery = o.MaxRecovery
+	}
+}
+
+// Any reports whether the run saw any fault or reliability activity.
+func (r *FaultReport) Any() bool {
+	return r.DropsInjected+r.DupsInjected+r.DelaysInjected+r.CorruptsInjected+
+		r.DownDrops+r.RetxSent+r.DupsSuppressed+r.OOODropped+r.CorruptDropped+
+		r.AcksSent+r.PiggybackAcks > 0
+}
+
+// MeanRecovery returns the average first-send-to-ack latency of packets
+// that needed retransmission (0 when none did).
+func (r *FaultReport) MeanRecovery() sim.Time {
+	if r.Recovered == 0 {
+		return 0
+	}
+	return r.TotalRecovery / sim.Time(r.Recovered)
+}
+
 // Seconds renders a virtual time as seconds.
 func Seconds(t sim.Time) float64 { return float64(t) / float64(sim.Second) }
 

@@ -36,6 +36,13 @@ type Config struct {
 	// improved pipelining that recovered Barnes-spatial).
 	SendPipelining int
 
+	// Faults configures deterministic network fault injection plus the
+	// NI-firmware reliable-delivery layer that masks it (sequence
+	// numbers, checksums, retransmission, duplicate suppression,
+	// cumulative acks). Zero value: perfect links, reliability layer
+	// fully disabled with zero overhead.
+	Faults FaultPlan
+
 	// ScatterGather enables the NI scatter-gather extension the paper
 	// discusses but deliberately leaves out (§3.3): with it, a direct
 	// diff's runs travel as one gathered message that the destination
@@ -48,6 +55,81 @@ type Config struct {
 	NIBroadcast bool
 
 	Costs Costs
+}
+
+// LinkDir selects which direction(s) of a host's link pair a fault
+// window applies to.
+type LinkDir int
+
+// Link directions for DownWindow.
+const (
+	// BothDirs downs the host's out- and in-link.
+	BothDirs LinkDir = iota
+	// OutOnly downs only the host-to-switch link.
+	OutOnly
+	// InOnly downs only the switch-to-host link.
+	InOnly
+)
+
+// DownWindow is a timed link outage: every packet crossing the selected
+// link(s) of the given host during [From, Until) is lost. The NI
+// reliable-delivery layer recovers via retransmission once the window
+// closes.
+type DownWindow struct {
+	Node        int
+	Dir         LinkDir
+	From, Until sim.Time
+}
+
+// FaultPlan configures deterministic, seed-driven fault injection at
+// the fabric's link crossings. All randomness comes from per-link PRNG
+// streams derived from Seed, so runs are replayable: the same Config
+// (including Seed) produces a byte-identical event trace. Rates are
+// per-packet probabilities per link crossing.
+type FaultPlan struct {
+	// Enabled turns on both fault injection and the NI reliable-delivery
+	// layer. When false every other field is ignored and the packet
+	// pipeline is byte-identical to the fault-free model.
+	Enabled bool
+	// Seed drives every per-link PRNG stream (no wall clock, no global
+	// rand). Two runs with equal Config produce identical traces.
+	Seed uint64
+	// DropRate is the probability a packet is lost on a link crossing.
+	DropRate float64
+	// DupRate is the probability the switch-to-host link delivers a
+	// packet twice.
+	DupRate float64
+	// DelayRate is the probability a packet is held after the
+	// switch-to-host link for an extra uniform (0, DelayMax] delay,
+	// reordering it behind later packets.
+	DelayRate float64
+	// DelayMax bounds the extra reorder delay.
+	DelayMax sim.Time
+	// CorruptRate is the probability a link crossing flips payload bits;
+	// the receiver's firmware checksum catches it and the packet is
+	// discarded (then retransmitted).
+	CorruptRate float64
+	// AckEvery is the cumulative-ack threshold: a receiver returns a
+	// standalone ack after this many unacknowledged in-order deliveries
+	// (0 = default 4). Acks piggyback on reverse traffic regardless.
+	AckEvery int
+	// Down lists timed link outages.
+	Down []DownWindow
+}
+
+// FaultMix returns a ready-to-use fault plan dominated by drops at the
+// given rate, with duplication, reordering, and corruption mixed in at
+// proportional rates (the cmd-line `-faults` preset).
+func FaultMix(rate float64, seed uint64) FaultPlan {
+	return FaultPlan{
+		Enabled:     true,
+		Seed:        seed,
+		DropRate:    rate,
+		DupRate:     rate / 4,
+		DelayRate:   rate / 2,
+		DelayMax:    sim.Micro(100),
+		CorruptRate: rate / 4,
+	}
 }
 
 // Costs holds every virtual-time cost constant of the model.
@@ -116,6 +198,25 @@ type Costs struct {
 	// FetchRetryBackoff is how long a requester waits before retrying a
 	// remote fetch that returned a stale page version.
 	FetchRetryBackoff sim.Time
+
+	// --- NI reliable delivery (active only with Faults.Enabled) ---
+
+	// NIRelFixed is per-packet firmware time for sequence/ack
+	// bookkeeping, charged on both the send and receive side.
+	NIRelFixed sim.Time
+	// NICsumPerByte is the firmware checksum cost per payload byte,
+	// charged on both sides (compute at the sender, verify at the
+	// receiver).
+	NICsumPerByte float64
+	// RetxTimeout is the initial per-flow retransmission timeout; it
+	// doubles on every consecutive timeout (exponential backoff).
+	RetxTimeout sim.Time
+	// RetxTimeoutMax caps the backoff.
+	RetxTimeoutMax sim.Time
+	// AckDelay is the receiver's delayed cumulative-ack timer: an ack is
+	// pushed this long after an in-order delivery if no reverse traffic
+	// carried it first.
+	AckDelay sim.Time
 
 	// --- Operating system ---
 
@@ -187,6 +288,14 @@ func DefaultCosts() Costs {
 		SwitchFixed: sim.Micro(0.5),
 
 		NIFetchService: sim.Micro(5),
+		// Reliability layer: the LANai computes a checksum with hardware
+		// assist (~0.5 ns/byte) plus fixed seq/ack bookkeeping; the RTO
+		// starts above a loaded 4 KB round trip and backs off to a cap.
+		NIRelFixed:     sim.Micro(0.5),
+		NICsumPerByte:  0.5,
+		RetxTimeout:    sim.Micro(400),
+		RetxTimeoutMax: sim.Micro(6400),
+		AckDelay:       sim.Micro(30),
 		// The 33 MHz LANai touches local memory slowly: ~30 ns/byte of
 		// gather/scatter work.
 		NISGPerByte:       30,
@@ -222,6 +331,41 @@ func (c *Config) Validate() error {
 		return errf("PostQueueDepth = %d, need >= 1", c.PostQueueDepth)
 	case c.SendPipelining < 1:
 		return errf("SendPipelining = %d, need >= 1", c.SendPipelining)
+	}
+	return c.Faults.validate(c.Nodes)
+}
+
+func (fp *FaultPlan) validate(nodes int) error {
+	if !fp.Enabled {
+		return nil
+	}
+	rates := map[string]float64{
+		"DropRate": fp.DropRate, "DupRate": fp.DupRate,
+		"DelayRate": fp.DelayRate, "CorruptRate": fp.CorruptRate,
+	}
+	for _, name := range []string{"DropRate", "DupRate", "DelayRate", "CorruptRate"} {
+		// A rate of 1.0 would make reliable delivery (and hence the
+		// simulation) livelock, so the bound is exclusive.
+		if r := rates[name]; r < 0 || r >= 1 {
+			return errf("Faults.%s = %g, need [0, 1)", name, r)
+		}
+	}
+	if fp.DelayRate > 0 && fp.DelayMax <= 0 {
+		return errf("Faults.DelayRate = %g with DelayMax = %d, need DelayMax > 0", fp.DelayRate, fp.DelayMax)
+	}
+	if fp.AckEvery < 0 {
+		return errf("Faults.AckEvery = %d, need >= 0", fp.AckEvery)
+	}
+	for i, w := range fp.Down {
+		if w.Node < 0 || w.Node >= nodes {
+			return errf("Faults.Down[%d].Node = %d, need [0, %d)", i, w.Node, nodes)
+		}
+		if w.Until <= w.From {
+			return errf("Faults.Down[%d]: Until %d <= From %d", i, w.Until, w.From)
+		}
+		if w.Dir < BothDirs || w.Dir > InOnly {
+			return errf("Faults.Down[%d].Dir = %d invalid", i, w.Dir)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,56 @@
+package genima_test
+
+// Zero-overhead off-switch regression: with fault injection disabled,
+// the packet-level event trace of a run must be byte-identical to the
+// pre-faults baseline. The golden hashes below were captured from the
+// commit immediately before internal/faults existed; if either test
+// fails, the fault/reliability plumbing has leaked timing or events
+// into the fault-free path.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	genima "genima"
+)
+
+// traceHash runs app under proto at test scale and returns a SHA-256
+// over the canonical rendering of every delivered packet, in delivery
+// order, plus the run's final elapsed time and event count.
+func traceHash(t *testing.T, appName string, proto genima.Protocol, cfg genima.Config) string {
+	t.Helper()
+	a, _ := appByName(t, appName)
+	h := sha256.New()
+	res, _, err := genima.RunTraced(cfg, proto, a, func(ev genima.TraceEvent) {
+		fmt.Fprintf(h, "%d|%d|%d|%d|%s|%v|%d|%d|%d|%d\n",
+			ev.Time, ev.Src, ev.Dst, ev.Size, ev.Kind, ev.Firmware,
+			ev.StageTime[0], ev.StageTime[1], ev.StageTime[2], ev.StageTime[3])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(h, "elapsed=%d events=%d\n", res.Elapsed, res.Events)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Golden hashes of the pre-faults baseline (fault injection disabled).
+const (
+	goldenFFTBase     = "ff9fed61efeb81509d901807de7eb3ceda4096f1958061db68305fcfde959ed6"
+	goldenWaterGeNIMA = "dafa10df04a99cf51e0e52e9cfe403e869a7f1730c6a6ba28972871e88d299ef"
+)
+
+func TestTraceGoldenFaultFreeFFTBase(t *testing.T) {
+	cfg := genima.DefaultConfig()
+	if got := traceHash(t, "fft", genima.Base, cfg); got != goldenFFTBase {
+		t.Errorf("fault-free fft/Base trace hash drifted:\n got %s\nwant %s", got, goldenFFTBase)
+	}
+}
+
+func TestTraceGoldenFaultFreeWaterGeNIMA(t *testing.T) {
+	cfg := genima.DefaultConfig()
+	if got := traceHash(t, "water-nsq", genima.GeNIMA, cfg); got != goldenWaterGeNIMA {
+		t.Errorf("fault-free water-nsq/GeNIMA trace hash drifted:\n got %s\nwant %s", got, goldenWaterGeNIMA)
+	}
+}
