@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race smoke-faults bench-smoke bench-json bench-mem bench-guard
+.PHONY: check build vet test race race-intrarun smoke-faults bench-smoke bench-json bench-mem bench-guard
 
-check: build vet test race smoke-faults
+check: build vet test race race-intrarun smoke-faults
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-intrarun runs the intra-run parallel-simulation determinism
+# tests (byte-identical traces across -jrun 1/2/4, with and without
+# faults) under the race detector, at test scale so the bound stays
+# CI-friendly.
+race-intrarun:
+	$(GO) test -race -run 'TestIntraRun' -count=1 .
+
 # smoke-faults exercises the fault-injection + NI reliable-delivery
 # recovery path end to end: one short app at a 1% drop rate (with dups,
 # delays, and corruption mixed in), validated against the sequential
@@ -29,7 +36,9 @@ smoke-faults:
 		-faults 0.01 -fault-seed 42 > /dev/null
 
 # bench-smoke runs every micro- and suite-benchmark once — a fast "do
-# the benchmarks still build and run" gate, not a measurement.
+# the benchmarks still build and run" gate, not a measurement. The
+# ./internal/sim pass includes BenchmarkCrossLPHandoff, the cross-LP
+# handoff cost of the conservative-parallel engine.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./internal/sim ./internal/memory ./internal/vmmc
 	$(GO) test -run xxx -bench 'Suite' -benchtime 1x .

@@ -25,7 +25,10 @@ import (
 	"time"
 )
 
-import genima "genima"
+import (
+	genima "genima"
+	"genima/internal/apps"
+)
 
 var (
 	expFlag    = flag.String("exp", "all", "comma-separated experiments: fig1,fig2,fig3,fig4,table1,table2,table3,table4,table5 or all; plus scaling and faultsweep (not in all)")
@@ -51,6 +54,13 @@ func fatal(err error) {
 // benchSummary is the BENCH_sim.json schema: wall-clock evidence for the
 // simulator's perf trajectory. suite_*_seconds time one full ladder
 // (all protocols + hardware + sequential) over the ten applications.
+// Inter-run parallelism (suite_parallel_seconds and friends) fans
+// independent runs across workers; intra-run parallelism
+// (events_per_sec_intrarun and friends) partitions one run into
+// per-node logical processes. Measurements that cannot be taken
+// meaningfully on this box (e.g. any parallel pass on a single-CPU
+// machine) are null, with the reason recorded in note — a null is "not
+// measured", never "zero speedup".
 type benchSummary struct {
 	Generated          string  `json:"generated"`
 	GoVersion          string  `json:"go_version"`
@@ -59,20 +69,53 @@ type benchSummary struct {
 	Scale              string  `json:"scale"`
 	Workers            int     `json:"workers"`
 	SuiteSerialSeconds float64 `json:"suite_serial_seconds"`
-	SuiteParallelSecs  float64 `json:"suite_parallel_seconds"`
-	ParallelSpeedup    float64 `json:"parallel_speedup"`
-	SimEvents          uint64  `json:"sim_events"`
-	EventsPerSecSerial float64 `json:"events_per_sec_serial"`
-	EventsPerSecPar    float64 `json:"events_per_sec_parallel"`
+	// Inter-run suite timing: null when skipped (see note).
+	SuiteParallelSecs  *float64 `json:"suite_parallel_seconds"`
+	ParallelSpeedup    *float64 `json:"parallel_speedup"`
+	SimEvents          uint64   `json:"sim_events"`
+	EventsPerSecSerial float64  `json:"events_per_sec_serial"`
+	EventsPerSecPar    *float64 `json:"events_per_sec_parallel"`
+	// Intra-run engine throughput on one fixed point (fft under GeNIMA)
+	// with IntraRunWorkers=workers, and its speedup over the same point
+	// serial. Null when skipped (see note).
+	EventsPerSecIntra *float64 `json:"events_per_sec_intrarun"`
+	IntraRunSpeedup   *float64 `json:"intrarun_speedup"`
 	// Allocation pressure of the serial run (runtime.ReadMemStats deltas
 	// divided by simulated events): the pooled packet pipeline's headline
 	// metric. Lower is better; the typed event path targets ~0 on the
 	// messaging hot paths.
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	BytesPerEvent  float64 `json:"bytes_per_event"`
-	// Note flags measurement caveats, e.g. "parallel_skipped_single_cpu"
+	// Note lists measurement caveats, comma-separated, e.g.
+	// "parallel_skipped_single_cpu" or "intrarun_skipped_single_cpu"
 	// when the box cannot run a meaningful parallel pass.
 	Note string `json:"note,omitempty"`
+}
+
+// timeIntraRunEPS times repeated fft/GeNIMA runs at the given
+// intra-run worker count and returns the best observed events/sec
+// (best of three, so one scheduling hiccup does not skew the number).
+func timeIntraRunEPS(scale genima.Scale, workers int) float64 {
+	entry, ok := apps.ByName(scale, "fft")
+	if !ok {
+		fatal(fmt.Errorf("intra-run timing point fft missing from suite"))
+	}
+	cfg := genima.DefaultConfig()
+	cfg.Nodes = *nodesFlag
+	cfg.ProcsPerNode = *procsFlag
+	cfg.IntraRunWorkers = workers
+	best := 0.0
+	for pass := 0; pass < 3; pass++ {
+		t0 := time.Now()
+		res, _, err := genima.Run(cfg, genima.GeNIMA, entry.App)
+		if err != nil {
+			fatal(err)
+		}
+		if eps := float64(res.Events) / time.Since(t0).Seconds(); eps > best {
+			best = eps
+		}
+	}
+	return best
 }
 
 // runBenchJSON times the full suite with Workers=1 and Workers=j and
@@ -116,17 +159,27 @@ func runBenchJSON(path string, scale genima.Scale, scaleName string, workers int
 	runtime.ReadMemStats(&msAfter)
 	allocs := msAfter.Mallocs - msBefore.Mallocs
 	bytes := msAfter.TotalAlloc - msBefore.TotalAlloc
-	// On a single-CPU box the parallel pass measures the same serial
-	// work plus scheduler overhead; skip it and say so rather than
-	// recording a meaningless "speedup".
-	var parSec, speedup, eventsPerSecPar float64
-	note := ""
+	// On a single-CPU box either parallel pass measures the same serial
+	// work plus scheduler overhead; record null-with-note rather than a
+	// meaningless "speedup".
+	var notes []string
+	var parSecP, speedupP, epsParP *float64
 	if runtime.NumCPU() == 1 {
-		note = "parallel_skipped_single_cpu"
+		notes = append(notes, "parallel_skipped_single_cpu")
 	} else {
-		parSec, _ = timeSuite(workers)
-		speedup = serialSec / parSec
-		eventsPerSecPar = float64(events) / parSec
+		parSec, _ := timeSuite(workers)
+		speedup := serialSec / parSec
+		epsPar := float64(events) / parSec
+		parSecP, speedupP, epsParP = &parSec, &speedup, &epsPar
+	}
+	var epsIntraP, intraSpeedupP *float64
+	if runtime.NumCPU() == 1 {
+		notes = append(notes, "intrarun_skipped_single_cpu")
+	} else {
+		epsIntraSerial := timeIntraRunEPS(scale, 1)
+		epsIntra := timeIntraRunEPS(scale, workers)
+		intraSpeedup := epsIntra / epsIntraSerial
+		epsIntraP, intraSpeedupP = &epsIntra, &intraSpeedup
 	}
 	sum := benchSummary{
 		Generated:          time.Now().UTC().Format(time.RFC3339),
@@ -136,14 +189,16 @@ func runBenchJSON(path string, scale genima.Scale, scaleName string, workers int
 		Scale:              scaleName,
 		Workers:            workers,
 		SuiteSerialSeconds: serialSec,
-		SuiteParallelSecs:  parSec,
-		ParallelSpeedup:    speedup,
+		SuiteParallelSecs:  parSecP,
+		ParallelSpeedup:    speedupP,
 		SimEvents:          events,
 		EventsPerSecSerial: float64(events) / serialSec,
-		EventsPerSecPar:    eventsPerSecPar,
+		EventsPerSecPar:    epsParP,
+		EventsPerSecIntra:  epsIntraP,
+		IntraRunSpeedup:    intraSpeedupP,
 		AllocsPerEvent:     float64(allocs) / float64(events),
 		BytesPerEvent:      float64(bytes) / float64(events),
-		Note:               note,
+		Note:               strings.Join(notes, ","),
 	}
 	data, err := json.MarshalIndent(sum, "", "  ")
 	if err != nil {
@@ -153,12 +208,12 @@ func runBenchJSON(path string, scale genima.Scale, scaleName string, workers int
 		fatal(err)
 	}
 	if !*quietFlag {
-		if note != "" {
+		if len(notes) > 0 {
 			fmt.Fprintf(os.Stderr, "serial %.2fs (%s), %.2f allocs/event, %.0f B/event -> %s\n",
-				serialSec, note, sum.AllocsPerEvent, sum.BytesPerEvent, path)
+				serialSec, sum.Note, sum.AllocsPerEvent, sum.BytesPerEvent, path)
 		} else {
-			fmt.Fprintf(os.Stderr, "serial %.2fs, parallel(%d) %.2fs, speedup %.2fx, %.2f allocs/event, %.0f B/event -> %s\n",
-				serialSec, workers, parSec, serialSec/parSec,
+			fmt.Fprintf(os.Stderr, "serial %.2fs, parallel(%d) %.2fs, speedup %.2fx, intrarun speedup %.2fx, %.2f allocs/event, %.0f B/event -> %s\n",
+				serialSec, workers, *parSecP, *speedupP, *intraSpeedupP,
 				sum.AllocsPerEvent, sum.BytesPerEvent, path)
 		}
 	}
@@ -218,6 +273,29 @@ func runBenchGuard(path string) {
 	}
 	if ratio < 0.75 {
 		fatal(fmt.Errorf("serial throughput regressed >25%% against %s", path))
+	}
+
+	// Intra-run throughput gate: only when the committed baseline has a
+	// measured number (multi-CPU box) and this box can reproduce one.
+	switch {
+	case committed.EventsPerSecIntra == nil || *committed.EventsPerSecIntra <= 0:
+		fmt.Fprintln(os.Stderr, "bench-guard: intra-run check skipped (no committed baseline; baseline box was single-CPU)")
+	case runtime.NumCPU() == 1:
+		fmt.Fprintln(os.Stderr, "bench-guard: intra-run check skipped (single CPU; intra-run timing is meaningless here)")
+	default:
+		w := committed.Workers
+		if w < 2 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		cur := timeIntraRunEPS(scale, w)
+		iratio := cur / *committed.EventsPerSecIntra
+		if !*quietFlag || iratio < 0.75 {
+			fmt.Fprintf(os.Stderr, "bench-guard: intra-run %.0f events/sec vs committed %.0f (%.0f%%)\n",
+				cur, *committed.EventsPerSecIntra, 100*iratio)
+		}
+		if iratio < 0.75 {
+			fatal(fmt.Errorf("intra-run throughput regressed >25%% against %s", path))
+		}
 	}
 }
 

@@ -36,6 +36,7 @@ var (
 	traceFlag  = flag.String("trace", "", "write a per-packet trace to this file")
 	faultsFlag = flag.Float64("faults", 0, "link fault injection: packet drop rate (0,1), with dups/delays/corruption mixed in per FaultMix; 0 disables")
 	seedFlag   = flag.Uint64("fault-seed", 1, "deterministic seed for the fault plan (used with -faults)")
+	jrunFlag   = flag.Int("jrun", 1, "intra-run simulation workers (per-node logical processes); any value yields a byte-identical result")
 )
 
 func main() {
@@ -54,6 +55,7 @@ func main() {
 	cfg.ProcsPerNode = *procsFlag
 	cfg.ScatterGather = *sgFlag
 	cfg.NIBroadcast = *bcastFlag
+	cfg.IntraRunWorkers = *jrunFlag
 	if *faultsFlag > 0 {
 		cfg.Faults = genima.FaultMix(*faultsFlag, *seedFlag)
 	}

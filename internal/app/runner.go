@@ -3,6 +3,7 @@ package app
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 
 	"genima/internal/core"
 	"genima/internal/hwdsm"
@@ -80,7 +81,18 @@ func RunSVMTraced(cfg topo.Config, kind core.Kind, a App, tracer func(nic.TraceE
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
-	eng := sim.NewEngine()
+	// Intra-run parallelism: with more than one worker and more than one
+	// node, the run is partitioned into per-node logical processes under
+	// a conservative PDES cluster. The serial path builds no cluster at
+	// all, so it is exactly the engine the goldens were recorded on.
+	var cl *sim.Cluster
+	var eng *sim.Engine
+	if cfg.IntraRunWorkers > 1 && cfg.Nodes > 1 {
+		cl = sim.NewCluster(cfg.Nodes, cfg.IntraRunWorkers, cfg.Costs.LinkFixed, cfg.Costs.SwitchFixed)
+		eng = cl.Main()
+	} else {
+		eng = sim.NewEngine()
+	}
 	ws := NewWorkspace(&cfg)
 	a.Setup(ws)
 	sys := core.New(eng, &cfg, kind, ws.Space)
@@ -90,29 +102,39 @@ func RunSVMTraced(cfg topo.Config, kind core.Kind, a App, tracer func(nic.TraceE
 	n := cfg.NumProcs()
 	ctxs := make([]*Ctx, n)
 	finish := make([]sim.Time, n)
-	finished := 0
+	var finished int32
 	mi := memIntensityOf(a)
 	for i := 0; i < n; i++ {
 		i := i
 		nd, cpu := i/cfg.ProcsPerNode, i%cfg.ProcsPerNode
 		be := NewSVMBackend(sys, nd, cpu)
 		ctxs[i] = NewCtx(i, n, nil, be, ws, &cfg, mi)
-		eng.Go(a.Name()+"-p"+strconv.Itoa(i), func(p *sim.Proc) {
+		// Each processor goroutine lives on its node's logical process
+		// (LPNode is the engine itself in a serial run).
+		eng.LPNode(nd).Go(a.Name()+"-p"+strconv.Itoa(i), func(p *sim.Proc) {
 			ctxs[i].p = p
 			a.Run(ctxs[i])
 			ctxs[i].Barrier() // flush all diffs to the homes
 			finish[i] = p.Now()
-			finished++
+			atomic.AddInt32(&finished, 1)
 		})
 	}
-	eng.RunUntilQuiet()
-	if finished != n {
+	if cl != nil {
+		cl.Run()
+	} else {
+		eng.RunUntilQuiet()
+	}
+	if int(finished) != n {
 		return nil, nil, fmt.Errorf("app %s on %v: %d/%d processors finished (protocol deadlock)", a.Name(), kind, finished, n)
 	}
 	res := collect(kind.String(), ctxs, finish)
 	res.Acct = sys.Accounting()
 	res.Monitor = sys.Layer.Monitor()
-	res.Events = eng.Events()
+	if cl != nil {
+		res.Events = cl.Events()
+	} else {
+		res.Events = eng.Events()
+	}
 	nis := sys.Layer.NIs()
 	frac := func(busy sim.Time) float64 {
 		if res.Elapsed == 0 {

@@ -67,10 +67,11 @@ type procScratch struct {
 	zero   []float64
 }
 
+// scratch returns the calling processor's scratch slot. The table is
+// sized in Setup, before the processors start: sizing it lazily here
+// would race when processors on different simulation workers hit their
+// first phase concurrently.
 func (a *App) scratch(ctx *app.Ctx) *procScratch {
-	if len(a.sc) != ctx.NProc() {
-		a.sc = make([]procScratch, ctx.NProc())
-	}
 	return &a.sc[ctx.ID()]
 }
 
@@ -153,6 +154,9 @@ func morton(cx, cy, bits int) int {
 // Setup generates a clustered body distribution and allocates the body
 // and tree-cell regions in the variant's layout.
 func (a *App) Setup(ws *app.Workspace) {
+	if np := ws.Cfg.NumProcs(); len(a.sc) != np {
+		a.sc = make([]procScratch, np)
+	}
 	xs := make([]float64, a.n)
 	ys := make([]float64, a.n)
 	ms := make([]float64, a.n)

@@ -31,10 +31,11 @@ type procScratch struct {
 	row   []float64
 }
 
+// scratch returns the calling processor's scratch slot. The table is
+// sized in Setup, before the processors start: sizing it lazily here
+// would race when processors on different simulation workers hit their
+// first phase concurrently.
 func (a *App) scratch(ctx *app.Ctx) *procScratch {
-	if len(a.sc) != ctx.NProc() {
-		a.sc = make([]procScratch, ctx.NProc())
-	}
 	return &a.sc[ctx.ID()]
 }
 
@@ -71,6 +72,9 @@ func (a *App) Points() int { return a.n }
 // Setup allocates the data and transpose-scratch matrices, homed in
 // blocked row panels matching the processor partitioning.
 func (a *App) Setup(ws *app.Workspace) {
+	if np := ws.Cfg.NumProcs(); len(a.sc) != np {
+		a.sc = make([]procScratch, np)
+	}
 	bytes := 16 * a.n // complex128 per point
 	data := ws.Alloc("data", bytes, memory.Blocked)
 	ws.Alloc("trans", bytes, memory.Blocked)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"genima/internal/sim"
 	"genima/internal/vmmc"
@@ -26,10 +27,12 @@ import (
 // barArriveMsg is an arrival record: a DW flag deposit (one pooled
 // record fanned out to all peers, refcounted, freed at the last
 // delivery) or a Base arrival sent to the master (freed there after
-// aggregation).
+// aggregation). In a parallel run the fan-out deliveries may land on
+// different logical processes within one round, so refs is decremented
+// atomically and the last delivery returns the record to the pool of
+// the node it landed on (records are fungible across node pools).
 type barArriveMsg struct {
-	owner     *Node // pool the record returns to
-	refs      int
+	refs      int32
 	src       int
 	seq       int
 	vc        []uint64
@@ -45,12 +48,12 @@ func (m *barArriveMsg) wireSize() int {
 }
 
 // barReleaseMsg is the master's release (Base): one pooled record
-// shared by all Nodes deliveries; each leader decrements refs after
-// applying it and the last one frees it. The interval union is swapped
-// out of the master's epoch state, not copied.
+// shared by all Nodes deliveries; each leader decrements refs (atomic:
+// leaders run on different logical processes) after applying it and the
+// last one frees it into its own node's pool. The interval union is
+// swapped out of the master's epoch state, not copied.
 type barReleaseMsg struct {
-	owner     *Node
-	refs      int
+	refs      int32
 	seq       int
 	vc        []uint64
 	intervals []*interval
@@ -157,7 +160,7 @@ func (n *Node) barrierDW(p *sim.Proc, seq int) sim.Time {
 		m := n.getBarArr()
 		m.src, m.seq = n.ID, seq
 		copy(m.vc, n.vc)
-		m.refs = n.sys.Cfg.Nodes - 1
+		m.refs = int32(n.sys.Cfg.Nodes - 1)
 		for dst := 0; dst < n.sys.Cfg.Nodes; dst++ {
 			if dst == n.ID {
 				continue
@@ -219,9 +222,8 @@ func (n *Node) barrierBase(p *sim.Proc, seq int) sim.Time {
 		}
 	}
 	n.applyUpTo(p, rel.vc)
-	rel.refs--
-	if rel.refs == 0 {
-		rel.owner.putBarRel(rel)
+	if atomic.AddInt32(&rel.refs, -1) == 0 {
+		n.putBarRel(rel)
 	}
 	return protoSoFar + (p.Now() - t2)
 }

@@ -95,18 +95,10 @@ type System struct {
 	Layer *vmmc.Layer
 	Nodes []*Node
 
-	locks map[int]*lockMeta // Base-path lock directory metadata
-
 	// Shared packet deliverers that must map a destination id to a Node.
 	noticeDel  noticeDeliver
 	grantDel   grantDeliver
 	barFlagDel barFlagDeliver
-
-	// Interval arena: intervals live for the whole run (they stay in
-	// every node's log), so they are carved out of chunked backing
-	// arrays instead of being allocated one by one.
-	ivChunk []interval
-	ivPages []int32
 }
 
 // New creates a protocol system over a fresh communication layer. The
@@ -119,7 +111,6 @@ func New(eng *sim.Engine, cfg *topo.Config, kind Kind, space *memory.Space) *Sys
 		Feat:  FeaturesOf(kind),
 		Space: space,
 		Layer: vmmc.New(eng, cfg),
-		locks: map[int]*lockMeta{},
 	}
 	s.noticeDel.s = s
 	s.grantDel.s = s
@@ -132,23 +123,25 @@ func New(eng *sim.Engine, cfg *topo.Config, kind Kind, space *memory.Space) *Sys
 }
 
 // newInterval allocates an interval with room for npages page ids from
-// the arena. The chunk pointers stay valid when a new chunk starts.
-func (s *System) newInterval(src int, seq uint64, npages int) *interval {
-	if len(s.ivChunk) == cap(s.ivChunk) {
-		s.ivChunk = make([]interval, 0, 256)
+// the node's arena (intervals are only ever created by their source
+// node, so the arena is per-node and touched only by the node's LP).
+// The chunk pointers stay valid when a new chunk starts.
+func (n *Node) newInterval(seq uint64, npages int) *interval {
+	if len(n.ivChunk) == cap(n.ivChunk) {
+		n.ivChunk = make([]interval, 0, 256)
 	}
-	s.ivChunk = append(s.ivChunk, interval{Src: src, Seq: seq})
-	iv := &s.ivChunk[len(s.ivChunk)-1]
-	if cap(s.ivPages)-len(s.ivPages) < npages {
+	n.ivChunk = append(n.ivChunk, interval{Src: n.ID, Seq: seq})
+	iv := &n.ivChunk[len(n.ivChunk)-1]
+	if cap(n.ivPages)-len(n.ivPages) < npages {
 		c := 4096
 		if npages > c {
 			c = npages
 		}
-		s.ivPages = make([]int32, 0, c)
+		n.ivPages = make([]int32, 0, c)
 	}
-	off := len(s.ivPages)
-	s.ivPages = s.ivPages[:off+npages]
-	iv.Pages = s.ivPages[off : off+npages : off+npages]
+	off := len(n.ivPages)
+	n.ivPages = n.ivPages[:off+npages]
+	iv.Pages = n.ivPages[off : off+npages : off+npages]
 	return iv
 }
 
@@ -199,6 +192,12 @@ type Node struct {
 	sys *System
 	ID  int
 
+	// eng is the node's logical process. In a serial run it is the
+	// system engine; in a parallel run every engine-context action of
+	// this node (protocol machine resumptions, gate wakeups) must be
+	// scheduled here so it stays on the node's own event heap.
+	eng *sim.Engine
+
 	Mem *memory.NodeMem
 	ep  *vmmc.Endpoint
 
@@ -223,6 +222,14 @@ type Node struct {
 	pendingReqs map[int][]pendingPage // Base: queued page requests per page
 
 	locks map[int]*nodeLock
+
+	// lockDir is the Base-path home-side lock directory for locks homed
+	// at this node (only the home's protocol machine touches it).
+	lockDir map[int]*lockMeta
+
+	// Interval arena backing for intervals created by this node.
+	ivChunk []interval
+	ivPages []int32
 
 	// The floating protocol process: a resumable state machine (see
 	// handler.go), not a goroutine.
@@ -266,12 +273,14 @@ func newNode(s *System, id int) *Node {
 	n := &Node{
 		sys:         s,
 		ID:          id,
+		eng:         s.Eng.LPNode(id),
 		ep:          s.Layer.Endpoint(id),
 		arrived:     make([]sim.Counter, s.Cfg.Nodes),
 		log:         make([][]*interval, s.Cfg.Nodes),
 		ivGate:      sim.NewGate(1),
 		pendingReqs: map[int][]pendingPage{},
 		locks:       map[int]*nodeLock{},
+		lockDir:     map[int]*lockMeta{},
 		steal:       make([]sim.Time, s.Cfg.ProcsPerNode),
 	}
 	// One backing array serves the node vector clock and the barrier

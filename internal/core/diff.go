@@ -66,12 +66,14 @@ type sgDep struct {
 	d      *diffMsg
 }
 
-// ApplySG implements vmmc.SGApplier (engine context, home NI firmware).
+// ApplySG implements vmmc.SGApplier (engine context, home NI firmware —
+// the home's logical process, so the consumed records go to the home's
+// pools, not the origin's).
 func (m *sgDep) ApplySG() {
 	memory.ApplyRuns(m.origin.sys.Space.HomeCopy(m.pg), m.d.runs)
 	m.home.bumpVersion(m.pg, m.src, m.seq)
-	m.origin.putDiff(m.d)
-	m.origin.putSGDep(m)
+	m.home.putDiff(m.d)
+	m.home.putSGDep(m)
 }
 
 // closeInterval closes the node's open write interval: computes diffs
@@ -97,7 +99,7 @@ func (n *Node) closeInterval(p *sim.Proc) *interval {
 	slices.Sort(n.dirtyList)
 	seq := n.vc[n.ID] + 1
 	n.vc[n.ID] = seq
-	iv := n.sys.newInterval(n.ID, seq, len(n.dirtyList))
+	iv := n.newInterval(seq, len(n.dirtyList))
 	copy(iv.Pages, n.dirtyList)
 	for _, pg := range n.dirtyList {
 		n.dirtySet[pg] = false
@@ -209,7 +211,7 @@ func (n *Node) closePageEarly(p *sim.Proc, pg int) {
 	}
 	seq := n.vc[n.ID] + 1
 	n.vc[n.ID] = seq
-	iv := n.sys.newInterval(n.ID, seq, 1)
+	iv := n.newInterval(seq, 1)
 	iv.Pages[0] = int32(pg)
 	n.recordInterval(iv)
 	n.flushPage(p, pg, seq)

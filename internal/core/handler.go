@@ -44,25 +44,25 @@ func localMsg(kind vmmc.MsgKind, payload any) vmmc.Msg {
 type pmState uint8
 
 const (
-	pmIdle      pmState = iota
-	pmWake              // a message arrived while idle: start a dispatch cycle
-	pmDispatch          // fixed handler cost paid: run the message body
-	pmBodyDone          // body finished: next queued message or go idle
-	pmDiffApply         // MsgDiff: per-byte handler cost paid, apply the runs
-	pmRetryLoop         // re-check queued page requests after a diff
-	pmCIGate            // closeInterval: acquire the interval gate
-	pmCIPage            // closeInterval: flush the next dirty page
-	pmFPDiffed          // flushPage: diff-computation sleep finished
-	pmFPRun             // flushPage (DD): send the next run deposit
-	pmCINotice          // closeInterval (DW): per-destination notice sends
-	pmCIDone            // closeInterval: release the gate
-	pmGrantSend         // grantRemote: build and send the grant
-	pmGrantSent         // grantRemote: grant posted, wake local waiters
-	pmBarRel            // barrier master: send the next release
-	pmSendSleep         // send submachine: per-packet post overhead
-	pmSendGate          // send submachine: post-queue admission + launch
-	pmBcastSleep        // broadcast submachine: post overhead
-	pmBcastGate         // broadcast submachine: admission + launch
+	pmIdle       pmState = iota
+	pmWake               // a message arrived while idle: start a dispatch cycle
+	pmDispatch           // fixed handler cost paid: run the message body
+	pmBodyDone           // body finished: next queued message or go idle
+	pmDiffApply          // MsgDiff: per-byte handler cost paid, apply the runs
+	pmRetryLoop          // re-check queued page requests after a diff
+	pmCIGate             // closeInterval: acquire the interval gate
+	pmCIPage             // closeInterval: flush the next dirty page
+	pmFPDiffed           // flushPage: diff-computation sleep finished
+	pmFPRun              // flushPage (DD): send the next run deposit
+	pmCINotice           // closeInterval (DW): per-destination notice sends
+	pmCIDone             // closeInterval: release the gate
+	pmGrantSend          // grantRemote: build and send the grant
+	pmGrantSent          // grantRemote: grant posted, wake local waiters
+	pmBarRel             // barrier master: send the next release
+	pmSendSleep          // send submachine: per-packet post overhead
+	pmSendGate           // send submachine: post-queue admission + launch
+	pmBcastSleep         // broadcast submachine: post overhead
+	pmBcastGate          // broadcast submachine: admission + launch
 )
 
 // protoMachine is the per-node protocol process. It implements
@@ -135,7 +135,7 @@ func (pm *protoMachine) post(m vmmc.Msg) {
 		return
 	}
 	pm.st = pmWake
-	eng := pm.n.sys.Eng
+	eng := pm.n.eng
 	now := eng.Now()
 	eng.AtHandler(now, now, pm)
 }
@@ -143,7 +143,7 @@ func (pm *protoMachine) post(m vmmc.Msg) {
 // Unpark implements sim.Waiter: a gate the machine was parked in has a
 // free slot to retry for.
 func (pm *protoMachine) Unpark() {
-	eng := pm.n.sys.Eng
+	eng := pm.n.eng
 	now := eng.Now()
 	eng.AtHandler(now, now, pm)
 }
@@ -170,7 +170,7 @@ func (pm *protoMachine) sleep(d sim.Time, next pmState) bool {
 	if d == 0 {
 		return false
 	}
-	eng := pm.n.sys.Eng
+	eng := pm.n.eng
 	t := eng.Now() + d
 	eng.AtHandler(t, t, pm)
 	return true
@@ -180,7 +180,7 @@ func (pm *protoMachine) sleep(d sim.Time, next pmState) bool {
 // claimed, false when the machine parked in the gate's queue (it
 // resumes in the same state and retries).
 func (pm *protoMachine) acquireGate(g *sim.Gate) bool {
-	now := pm.n.sys.Eng.Now()
+	now := pm.n.eng.Now()
 	if g.TryAcquire() {
 		if pm.gateBlocked {
 			pm.gateBlocked = false
@@ -271,7 +271,7 @@ func (pm *protoMachine) barArrive(m *barArriveMsg) {
 	e.mArrived++
 	vecMergeMax(e.mVC, m.vc)
 	e.mIvs = append(e.mIvs, m.intervals...)
-	m.owner.putBarArr(m) // aggregated; intervals are arena-backed
+	n.putBarArr(m) // aggregated; intervals are arena-backed
 	if e.mArrived < n.sys.Cfg.Nodes {
 		pm.st = pmBodyDone
 		return
@@ -282,7 +282,7 @@ func (pm *protoMachine) barArrive(m *barArriveMsg) {
 	// Hand the interval union to the release record by swapping slices:
 	// the epoch keeps the (empty) old backing for its next reuse.
 	rel.intervals, e.mIvs = e.mIvs, rel.intervals[:0]
-	rel.refs = n.sys.Cfg.Nodes
+	rel.refs = int32(n.sys.Cfg.Nodes)
 	pm.barRel, pm.barDst = rel, 0
 	pm.st = pmBarRel
 }
@@ -370,7 +370,7 @@ func (pm *protoMachine) step() {
 				}
 			case vmmc.MsgLockReq:
 				req := m.Payload.(*lockReqMsg)
-				meta := n.sys.lockMetaFor(req.id)
+				meta := n.lockMetaFor(req.id)
 				prev := meta.lastOwner
 				meta.lastOwner = req.requester
 				if prev == n.ID {
@@ -446,7 +446,7 @@ func (pm *protoMachine) step() {
 			slices.Sort(n.dirtyList)
 			seq := n.vc[n.ID] + 1
 			n.vc[n.ID] = seq
-			iv := n.sys.newInterval(n.ID, seq, len(n.dirtyList))
+			iv := n.newInterval(seq, len(n.dirtyList))
 			copy(iv.Pages, n.dirtyList)
 			for _, pg := range n.dirtyList {
 				n.dirtySet[pg] = false

@@ -107,11 +107,13 @@ func (n *Node) lock(id int) *nodeLock {
 // lockHome returns the static home node of a lock (must match vmmc's).
 func (s *System) lockHome(id int) int { return id % s.Cfg.Nodes }
 
-func (s *System) lockMetaFor(id int) *lockMeta {
-	m := s.locks[id]
+// lockMetaFor returns the home-side chain tail for a lock homed at this
+// node (callers must be the home's protocol machine).
+func (n *Node) lockMetaFor(id int) *lockMeta {
+	m := n.lockDir[id]
 	if m == nil {
-		m = &lockMeta{lastOwner: s.lockHome(id)}
-		s.locks[id] = m
+		m = &lockMeta{lastOwner: n.sys.lockHome(id)}
+		n.lockDir[id] = m
 	}
 	return m
 }

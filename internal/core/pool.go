@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"genima/internal/memory"
 	"genima/internal/nic"
 )
@@ -173,7 +175,6 @@ func (n *Node) getBarArr() *barArriveMsg {
 	chunk := make([]barArriveMsg, 8)
 	vcs := make([]uint64, len(chunk)*nn)
 	for i := len(chunk) - 1; i >= 0; i-- {
-		chunk[i].owner = n
 		chunk[i].vc = vcs[i*nn : (i+1)*nn : (i+1)*nn]
 		if i > 0 {
 			n.barArrFree = append(n.barArrFree, &chunk[i])
@@ -198,7 +199,6 @@ func (n *Node) getBarRel() *barReleaseMsg {
 	chunk := make([]barReleaseMsg, 8)
 	vcs := make([]uint64, len(chunk)*nn)
 	for i := len(chunk) - 1; i >= 0; i-- {
-		chunk[i].owner = n
 		chunk[i].vc = vcs[i*nn : (i+1)*nn : (i+1)*nn]
 		if i > 0 {
 			n.barRelFree = append(n.barRelFree, &chunk[i])
@@ -299,7 +299,10 @@ var pageReplyDel pageReplyDeliver
 func (pageReplyDeliver) Deliver(pkt *nic.Packet) { pkt.Payload.(*pageReqMsg).done.Set() }
 
 // runDepDeliver applies one direct-diff run into the home copy (DD: the
-// destination NI deposits the run, no host involvement).
+// destination NI deposits the run, no host involvement). The record is
+// freed into the destination node's pool — delivery runs on the
+// destination's logical process, and the origin node may be executing
+// concurrently, so its free list must not be touched here.
 type runDepDeliver struct{}
 
 var runDepDel runDepDeliver
@@ -307,12 +310,13 @@ var runDepDel runDepDeliver
 func (runDepDeliver) Deliver(pkt *nic.Packet) {
 	rd := pkt.Payload.(*runDep)
 	memory.ApplyRun(rd.owner.sys.Space.HomeCopy(rd.pg), rd.run)
-	rd.owner.putRunDep(rd)
+	rd.owner.sys.Nodes[pkt.Dst].putRunDep(rd)
 }
 
 // verMarkDeliver lands a direct-diff version marker. Per-pair FIFO
 // delivery guarantees the run deposits (sent first) have already been
-// applied, so the diff record whose buffer they aliased can be freed.
+// applied, so the diff record whose buffer they aliased can be freed —
+// into the home's pool: delivery runs on the home's logical process.
 type verMarkDeliver struct{}
 
 var verMarkDel verMarkDeliver
@@ -321,9 +325,9 @@ func (verMarkDeliver) Deliver(pkt *nic.Packet) {
 	vm := pkt.Payload.(*verMark)
 	vm.home.bumpVersion(vm.pg, vm.origin.ID, vm.seq)
 	if vm.d != nil {
-		vm.origin.putDiff(vm.d)
+		vm.home.putDiff(vm.d)
 	}
-	vm.origin.putVerMark(vm)
+	vm.home.putVerMark(vm)
 }
 
 // noticeDeliver records an eagerly deposited write notice at pkt.Dst
@@ -343,14 +347,15 @@ func (d *grantDeliver) Deliver(pkt *nic.Packet) {
 }
 
 // barFlagDeliver lands a DW barrier arrival flag at pkt.Dst. One pooled
-// record serves all Nodes-1 deposits; the last delivery frees it.
+// record serves all Nodes-1 deposits; the last delivery frees it into
+// the pool of the node it landed on (the deliveries may run on
+// different logical processes within one round, hence the atomic).
 type barFlagDeliver struct{ s *System }
 
 func (d *barFlagDeliver) Deliver(pkt *nic.Packet) {
 	m := pkt.Payload.(*barArriveMsg)
 	d.s.Nodes[pkt.Dst].depositBarFlag(m)
-	m.refs--
-	if m.refs == 0 {
-		m.owner.putBarArr(m)
+	if atomic.AddInt32(&m.refs, -1) == 0 {
+		d.s.Nodes[pkt.Dst].putBarArr(m)
 	}
 }

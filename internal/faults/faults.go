@@ -62,10 +62,16 @@ type Verdict struct {
 	Delay sim.Time
 }
 
-// linkState is one directional link's fault stream.
+// linkState is one directional link's fault stream. Each state —
+// including its injection counters — is touched only by the logical
+// process that executes that link's crossings (the fabric LP for out
+// links, the receiving node's LP for in links), so parallel runs need
+// no synchronization here; Plan.Report aggregates the shards after the
+// run.
 type linkState struct {
 	r    rng
 	down []topo.DownWindow
+	rep  stats.FaultReport
 }
 
 func (ls *linkState) isDown(now sim.Time) bool {
@@ -78,15 +84,24 @@ func (ls *linkState) isDown(now sim.Time) bool {
 }
 
 // Plan is a compiled fault plan for one simulated fabric. It is owned
-// by a single engine and must not be shared across concurrent runs.
+// by a single run and must not be shared across concurrent runs.
 type Plan struct {
 	cfg topo.FaultPlan
 	out []linkState // host -> switch, by host
 	in  []linkState // switch -> host, by host
+}
 
-	// Report counts every injected fault (the *Injected/DownDrops
-	// fields; the reliability fields stay zero here).
-	Report stats.FaultReport
+// Report sums the per-link injection counters (the *Injected/DownDrops
+// fields; the reliability fields stay zero here).
+func (p *Plan) Report() stats.FaultReport {
+	var rep stats.FaultReport
+	for i := range p.out {
+		rep.Merge(p.out[i].rep)
+	}
+	for i := range p.in {
+		rep.Merge(p.in[i].rep)
+	}
+	return rep
 }
 
 // New compiles a fault plan for a fabric of `nodes` hosts. The plan
@@ -114,7 +129,7 @@ func New(fp *topo.FaultPlan, nodes int) *Plan {
 func (p *Plan) JudgeOut(node int, now sim.Time) Verdict {
 	ls := &p.out[node]
 	if ls.isDown(now) {
-		p.Report.DownDrops++
+		ls.rep.DownDrops++
 		return Verdict{Drop: true}
 	}
 	var v Verdict
@@ -122,12 +137,12 @@ func (p *Plan) JudgeOut(node int, now sim.Time) Verdict {
 	// classes: drop, then corrupt.
 	if ls.r.float() < p.cfg.DropRate {
 		v.Drop = true
-		p.Report.DropsInjected++
+		ls.rep.DropsInjected++
 	}
 	if ls.r.float() < p.cfg.CorruptRate {
 		v.CorruptMask = ls.r.next() | 1
 		if !v.Drop {
-			p.Report.CorruptsInjected++
+			ls.rep.CorruptsInjected++
 		}
 	}
 	return v
@@ -138,24 +153,24 @@ func (p *Plan) JudgeOut(node int, now sim.Time) Verdict {
 func (p *Plan) JudgeIn(node int, now sim.Time) Verdict {
 	ls := &p.in[node]
 	if ls.isDown(now) {
-		p.Report.DownDrops++
+		ls.rep.DownDrops++
 		return Verdict{Drop: true}
 	}
 	var v Verdict
 	// Fixed draw order: drop, corrupt, dup, delay.
 	if ls.r.float() < p.cfg.DropRate {
 		v.Drop = true
-		p.Report.DropsInjected++
+		ls.rep.DropsInjected++
 	}
 	if ls.r.float() < p.cfg.CorruptRate {
 		v.CorruptMask = ls.r.next() | 1
 		if !v.Drop {
-			p.Report.CorruptsInjected++
+			ls.rep.CorruptsInjected++
 		}
 	}
 	if ls.r.float() < p.cfg.DupRate {
 		v.Dup = true
-		p.Report.DupsInjected++
+		ls.rep.DupsInjected++
 	}
 	if ls.r.float() < p.cfg.DelayRate {
 		d := 1 + sim.Time(ls.r.float()*float64(p.cfg.DelayMax))
@@ -164,7 +179,7 @@ func (p *Plan) JudgeIn(node int, now sim.Time) Verdict {
 		}
 		v.Delay = d
 		if !v.Drop {
-			p.Report.DelaysInjected++
+			ls.rep.DelaysInjected++
 		}
 	}
 	return v

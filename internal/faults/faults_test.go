@@ -20,8 +20,8 @@ func TestStreamsAreDeterministic(t *testing.T) {
 			t.Fatalf("out draw %d: %+v vs %+v", i, oa, ob)
 		}
 	}
-	if a.Report != b.Report {
-		t.Fatalf("reports diverged: %+v vs %+v", a.Report, b.Report)
+	if a.Report() != b.Report() {
+		t.Fatalf("reports diverged: %+v vs %+v", a.Report(), b.Report())
 	}
 }
 
@@ -67,8 +67,8 @@ func TestRatesRoughlyHold(t *testing.T) {
 	if got < 0.08 || got > 0.12 {
 		t.Fatalf("10%% drop rate produced %.3f", got)
 	}
-	if p.Report.DropsInjected != uint64(drops) {
-		t.Fatalf("report says %d drops, saw %d", p.Report.DropsInjected, drops)
+	if p.Report().DropsInjected != uint64(drops) {
+		t.Fatalf("report says %d drops, saw %d", p.Report().DropsInjected, drops)
 	}
 }
 
@@ -106,8 +106,8 @@ func TestDownWindows(t *testing.T) {
 			t.Errorf("case %d (%+v): drop=%v", i, c, v.Drop)
 		}
 	}
-	if p.Report.DownDrops != 3 {
-		t.Errorf("DownDrops = %d, want 3", p.Report.DownDrops)
+	if p.Report().DownDrops != 3 {
+		t.Errorf("DownDrops = %d, want 3", p.Report().DownDrops)
 	}
 }
 

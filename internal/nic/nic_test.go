@@ -256,13 +256,13 @@ func TestPacketAndTransitRecycleToOrigin(t *testing.T) {
 	eng.RunUntilQuiet()
 	// All packets and transits return to the origin NI's free lists, so
 	// a steady sender reaches a closed, allocation-free loop.
-	if got := len(sys.NIs[0].pktFree); got == 0 {
+	if got := len(sys.NIs[0].pool.pktFree); got == 0 {
 		t.Error("origin packet pool empty after deliveries")
 	}
-	if got := len(sys.NIs[0].trFree); got == 0 {
+	if got := len(sys.NIs[0].pool.trFree); got == 0 {
 		t.Error("origin transit pool empty after deliveries")
 	}
-	if got := len(sys.NIs[1].pktFree); got != 0 {
+	if got := len(sys.NIs[1].pool.pktFree); got != 0 {
 		t.Errorf("destination packet pool has %d packets; recycling should target the origin", got)
 	}
 }
@@ -281,12 +281,12 @@ func TestBroadcastCopiesComeFromPool(t *testing.T) {
 	}
 	var trs []*transit
 	for i := 0; i < 4; i++ {
-		trs = append(trs, ni.getTransit())
+		trs = append(trs, ni.pool.getTransit())
 	}
 	for _, tr := range trs {
-		ni.putTransit(tr)
+		ni.pool.putTransit(tr)
 	}
-	basePkts, baseTrs := len(ni.pktFree), len(ni.trFree)
+	basePkts, baseTrs := len(ni.pool.pktFree), len(ni.pool.trFree)
 
 	delivered := 0
 	eng.Go("s", func(p *sim.Proc) {
@@ -300,10 +300,10 @@ func TestBroadcastCopiesComeFromPool(t *testing.T) {
 	}
 	// Template + three per-destination copies all recycle to the origin:
 	// the pools end exactly where they started, a closed loop.
-	if got := len(ni.pktFree); got != basePkts {
+	if got := len(ni.pool.pktFree); got != basePkts {
 		t.Errorf("origin pool holds %d packets after broadcast, want %d", got, basePkts)
 	}
-	if got := len(ni.trFree); got != baseTrs {
+	if got := len(ni.pool.trFree); got != baseTrs {
 		t.Errorf("origin pool holds %d transits after broadcast, want %d", got, baseTrs)
 	}
 }

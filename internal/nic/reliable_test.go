@@ -63,7 +63,7 @@ func TestReliableMaxSizePacketsUnderDrop(t *testing.T) {
 	eng, sys, cfg := newFaultySystem(t, fp)
 	counts, order := sendBurst(eng, sys, 40, cfg.MaxPacket)
 	checkExactlyOnceInOrder(t, counts, order)
-	if sys.Fabric.Faults.Report.DropsInjected == 0 {
+	if sys.Fabric.Faults.Report().DropsInjected == 0 {
 		t.Fatal("20% plan dropped nothing over 40 packets")
 	}
 	rel := sys.RelReport()
@@ -83,7 +83,8 @@ func TestReliableDupAndCorrupt(t *testing.T) {
 	counts, order := sendBurst(eng, sys, 40, 256)
 	checkExactlyOnceInOrder(t, counts, order)
 	rel := sys.RelReport()
-	inj := &sys.Fabric.Faults.Report
+	injRep := sys.Fabric.Faults.Report()
+	inj := &injRep
 	if inj.DupsInjected == 0 || rel.DupsSuppressed == 0 {
 		t.Errorf("dups injected=%d suppressed=%d, want both > 0",
 			inj.DupsInjected, rel.DupsSuppressed)
@@ -123,7 +124,7 @@ func TestBroadcastFanOutUnderDownedLink(t *testing.T) {
 	if lastAt < windowEnd {
 		t.Errorf("all deliveries done at %d, before the down window lifted at %d", lastAt, windowEnd)
 	}
-	if sys.Fabric.Faults.Report.DownDrops == 0 {
+	if sys.Fabric.Faults.Report().DownDrops == 0 {
 		t.Error("down window dropped nothing")
 	}
 	if sys.RelReport().RetxSent == 0 {
@@ -140,7 +141,8 @@ func TestSwitchBusyTimeWithDelayedPackets(t *testing.T) {
 	eng, sys, cfg := newFaultySystem(t, fp)
 	counts, order := sendBurst(eng, sys, 30, 512)
 	checkExactlyOnceInOrder(t, counts, order)
-	inj := &sys.Fabric.Faults.Report
+	injRep := sys.Fabric.Faults.Report()
+	inj := &injRep
 	if inj.DelaysInjected == 0 {
 		t.Fatal("50% delay plan delayed nothing over 30 packets")
 	}

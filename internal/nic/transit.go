@@ -28,6 +28,16 @@ type transit struct {
 	stage     int8
 	holdsSlot bool // release the post-queue slot when the source DMA ends
 
+	// eng is the logical process currently carrying the packet and pool
+	// the free lists owned by that LP (the transit and packet recycle
+	// into the pool of the LP they finish on). Both start at the source
+	// NI and are advanced at the two LP-crossing boundaries — out-link
+	// completion (node -> fabric) and switch completion (fabric ->
+	// destination node). In a serial run they never change, so recycling
+	// stays at the origin NI exactly as before.
+	eng  *sim.Engine
+	pool *pktPool
+
 	// Broadcast template state (nil/zero on unicast and per-dst copies).
 	dsts         []int
 	bcastDeliver func(dst int)
@@ -88,14 +98,21 @@ func (t *transit) Run(_, end sim.Time) {
 			r.stamp(t, end)
 		}
 		t.stage = stOutLink
-		t.ni.fabric.Out[pkt.Src].TransferHandler(pkt.Size, t)
+		if fl := t.ni.fab; fl != nil {
+			// Node -> fabric LP crossing: the out-link is owned by the
+			// source node, its completion runs on the fabric.
+			t.ni.fabric.Out[pkt.Src].TransferCross(pkt.Size, t.eng, fl.eng, t)
+			t.eng, t.pool = fl.eng, &fl.pool
+		} else {
+			t.ni.fabric.Out[pkt.Src].TransferHandler(pkt.Size, t)
+		}
 
 	case stOutLink:
 		pkt.tInject = end
 		if F := t.ni.fabric.Faults; F != nil {
 			v := F.JudgeOut(pkt.Src, end)
 			if v.Drop {
-				t.ni.recycle(t)
+				t.recycle()
 				return
 			}
 			// For a broadcast template Csum is zero here, so the mask
@@ -103,7 +120,19 @@ func (t *transit) Run(_, end sim.Time) {
 			pkt.Csum ^= v.CorruptMask
 		}
 		t.stage = stSwitch
-		t.ni.fabric.Switch.RouteHandler(t)
+		if fl := t.ni.fab; fl != nil {
+			if t.dsts != nil {
+				t.parFanOut(fl)
+				return
+			}
+			// Fabric -> destination LP crossing: the switch is owned
+			// by the fabric, its completion runs at the destination.
+			de := t.ni.peers[pkt.Dst]
+			t.ni.fabric.Switch.RouteCross(t.eng, de.eng, t)
+			t.eng, t.pool = de.eng, &de.pool
+		} else {
+			t.ni.fabric.Switch.RouteHandler(t)
+		}
 
 	case stSwitch:
 		if t.dsts != nil {
@@ -118,7 +147,7 @@ func (t *transit) Run(_, end sim.Time) {
 		if F := t.ni.fabric.Faults; F != nil {
 			v := F.JudgeIn(pkt.Dst, end)
 			if v.Drop {
-				t.ni.recycle(t)
+				t.recycle()
 				return
 			}
 			pkt.Csum ^= v.CorruptMask
@@ -127,7 +156,7 @@ func (t *transit) Run(_, end sim.Time) {
 			}
 			if v.Delay > 0 {
 				t.stage = stFaultDelay
-				t.ni.eng.AtHandler(end+v.Delay, end, t)
+				t.eng.AtHandler(end+v.Delay, end, t)
 				return
 			}
 		}
@@ -142,14 +171,14 @@ func (t *transit) Run(_, end sim.Time) {
 			// Consumed (ack) or discarded (corrupt/dup/out-of-order)
 			// by the receive firmware: never delivered, never seen by
 			// the monitor.
-			t.ni.recycle(t)
+			t.recycle()
 			return
 		}
 		if pkt.FwHandler != nil {
 			pkt.tDone = end
-			dst.mon.record(dst.cfg, dst.fabric, pkt)
+			dst.mon.record(dst, pkt)
 			pkt.FwHandler(dst, pkt)
-			t.ni.recycle(t)
+			t.recycle()
 			return
 		}
 		t.stage = stDstPCI
@@ -158,7 +187,7 @@ func (t *transit) Run(_, end sim.Time) {
 	case stDstPCI:
 		dst := t.ni.peers[pkt.Dst]
 		pkt.tDone = end
-		dst.mon.record(dst.cfg, dst.fabric, pkt)
+		dst.mon.record(dst, pkt)
 		if t.bcastDeliver != nil {
 			t.bcastDeliver(pkt.Dst)
 		} else if pkt.DeliverTo != nil {
@@ -166,7 +195,7 @@ func (t *transit) Run(_, end sim.Time) {
 		} else if pkt.OnDeliver != nil {
 			pkt.OnDeliver()
 		}
-		t.ni.recycle(t)
+		t.recycle()
 	}
 }
 
@@ -186,7 +215,7 @@ func (t *transit) toDstFirmware() {
 // receive gate suppresses whichever of the two arrives second.
 func (t *transit) dupArrival() {
 	pkt := t.pkt
-	cp := t.ni.getPacket()
+	cp := t.pool.getPacket()
 	cp.Src, cp.Dst, cp.Size, cp.Kind = pkt.Src, pkt.Dst, pkt.Size, pkt.Kind
 	cp.Payload = pkt.Payload
 	cp.Meta, cp.Meta2 = pkt.Meta, pkt.Meta2
@@ -194,11 +223,12 @@ func (t *transit) dupArrival() {
 	cp.DeliverTo, cp.OnDeliver = pkt.DeliverTo, pkt.OnDeliver
 	cp.Seq, cp.Ack, cp.Csum, cp.RelFlags = pkt.Seq, pkt.Ack, pkt.Csum, pkt.RelFlags
 	cp.tPost, cp.tSrc, cp.tInject = pkt.tPost, pkt.tSrc, pkt.tInject
-	td := t.ni.getTransit()
+	td := t.pool.getTransit()
 	td.ni = t.ni
 	td.pkt = cp
 	td.stage = stInLink
 	td.bcastDeliver = t.bcastDeliver
+	td.eng, td.pool = t.eng, t.pool
 	t.ni.fabric.In[pkt.Dst].TransferHandler(cp.Size, td)
 }
 
@@ -209,7 +239,7 @@ func (t *transit) dupArrival() {
 func (t *transit) fanOut() {
 	tmpl := t.pkt
 	for i, dst := range t.dsts {
-		cp := t.ni.getPacket()
+		cp := t.pool.getPacket()
 		cp.Src, cp.Dst, cp.Size, cp.Kind = tmpl.Src, dst, tmpl.Size, tmpl.Kind
 		cp.Payload = tmpl.Payload
 		cp.Meta, cp.Meta2 = tmpl.Meta, tmpl.Meta2
@@ -224,38 +254,116 @@ func (t *transit) fanOut() {
 			cp.Seq, cp.Ack, cp.RelFlags = e.pkt.Seq, e.pkt.Ack, e.pkt.RelFlags
 			cp.Csum = e.pkt.Csum ^ tmpl.Csum
 		}
-		td := t.ni.getTransit()
+		td := t.pool.getTransit()
 		td.ni = t.ni
 		td.pkt = cp
 		td.stage = stInLink
 		td.bcastDeliver = t.bcastDeliver
+		td.eng, td.pool = t.eng, t.pool
 		t.ni.fabric.In[dst].TransferHandler(cp.Size, td)
 	}
-	t.ni.recycle(t)
+	t.recycle()
 }
 
-// getPacket returns a zeroed Packet from the NI's free list, or a fresh
-// one. Like memory.BufPool, the list is a plain LIFO slice: engines are
-// share-nothing and single-threaded, so reuse order is deterministic
-// run to run and needs no locks. A packet always returns to the pool of
-// the NI that issued it (the transit keeps the origin), so a node with
-// a steady send rate reaches a closed loop with zero allocations even
-// while its packets queue at a slow receiver.
-func (ni *NI) getPacket() *Packet {
-	if n := len(ni.pktFree); n > 0 {
-		p := ni.pktFree[n-1]
-		ni.pktFree[n-1] = nil
-		ni.pktFree = ni.pktFree[:n-1]
+// parFanOut is the parallel run's broadcast fan-out, executed on the
+// fabric LP when the template's out-link crossing completes. The serial
+// engine routes the template through the switch once and replicates it
+// onto every in-link in a single switch-completion event; here the
+// in-links are owned by the destination LPs, so the fabric reserves the
+// switch occupancy itself and sends each destination its own pooled
+// copy as a switch-completion (stSwitch) event at the routing end time.
+// Each copy then reserves its in-link at the destination at exactly the
+// time the serial fan-out would have, and the per-destination events
+// inherit consecutive action indices of the same out-link event that
+// keyed the serial switch event, so the global event order is
+// preserved. One serial event became len(dsts) events; the count
+// adjustment keeps reported totals identical.
+func (t *transit) parFanOut(fl *fabLP) {
+	tmpl := t.pkt
+	start, routeEnd := t.ni.fabric.Switch.Reserve()
+	for i, dst := range t.dsts {
+		cp := fl.pool.getPacket()
+		cp.Src, cp.Dst, cp.Size, cp.Kind = tmpl.Src, dst, tmpl.Size, tmpl.Kind
+		cp.Payload = tmpl.Payload
+		cp.Meta, cp.Meta2 = tmpl.Meta, tmpl.Meta2
+		cp.DeliverTo = tmpl.DeliverTo
+		cp.FwService = tmpl.FwService
+		cp.tPost, cp.tSrc, cp.tInject = tmpl.tPost, tmpl.tSrc, tmpl.tInject
+		if len(t.entries) > 0 {
+			e := t.entries[i]
+			cp.Seq, cp.Ack, cp.RelFlags = e.pkt.Seq, e.pkt.Ack, e.pkt.RelFlags
+			cp.Csum = e.pkt.Csum ^ tmpl.Csum
+		}
+		de := t.ni.peers[dst]
+		td := fl.pool.getTransit()
+		td.ni = t.ni
+		td.pkt = cp
+		td.stage = stSwitch
+		td.bcastDeliver = t.bcastDeliver
+		td.eng, td.pool = de.eng, &de.pool
+		t.eng.Send(de.eng, routeEnd, start, td)
+	}
+	t.eng.AdjustEventCount(1 - int64(len(t.dsts)))
+	t.recycle()
+}
+
+// pktPool holds one logical process's packet and transit free lists.
+// Like memory.BufPool, the lists are plain LIFO slices: each pool is
+// touched only by its owning LP (or by the single-threaded barrier), so
+// reuse order is deterministic run to run and needs no locks.
+type pktPool struct {
+	pktFree []*Packet
+	trFree  []*transit
+}
+
+// getPacket returns a zeroed Packet from the free list, or a fresh one.
+func (pl *pktPool) getPacket() *Packet {
+	if n := len(pl.pktFree); n > 0 {
+		p := pl.pktFree[n-1]
+		pl.pktFree[n-1] = nil
+		pl.pktFree = pl.pktFree[:n-1]
 		return p
 	}
 	// Pool miss: allocate a chunk at once so a growing in-flight window
 	// costs one allocation per 16 packets, not one per packet.
 	chunk := make([]Packet, 16)
 	for i := len(chunk) - 1; i > 0; i-- {
-		ni.pktFree = append(ni.pktFree, &chunk[i])
+		pl.pktFree = append(pl.pktFree, &chunk[i])
 	}
 	return &chunk[0]
 }
+
+func (pl *pktPool) putPacket(p *Packet) {
+	*p = Packet{} // drop payload/handler references before pooling
+	pl.pktFree = append(pl.pktFree, p)
+}
+
+func (pl *pktPool) getTransit() *transit {
+	if n := len(pl.trFree); n > 0 {
+		t := pl.trFree[n-1]
+		pl.trFree[n-1] = nil
+		pl.trFree = pl.trFree[:n-1]
+		return t
+	}
+	chunk := make([]transit, 16)
+	for i := len(chunk) - 1; i > 0; i-- {
+		pl.trFree = append(pl.trFree, &chunk[i])
+	}
+	return &chunk[0]
+}
+
+func (pl *pktPool) putTransit(t *transit) {
+	ents := t.entries
+	for i := range ents {
+		ents[i] = nil // entries are owned by the rel layer until acked
+	}
+	*t = transit{}
+	t.entries = ents[:0]
+	pl.trFree = append(pl.trFree, t)
+}
+
+// getPacket draws from this NI's own pool (its LP's free lists).
+func (ni *NI) getPacket() *Packet { return ni.pool.getPacket() }
 
 // NewPacket hands callers a pooled Packet for a subsequent Post /
 // PostFromEvent / FirmwareSend / PostBroadcast. The pipeline owns the
@@ -263,46 +371,22 @@ func (ni *NI) getPacket() *Packet {
 // not retain or reuse it; fields are zeroed.
 func (ni *NI) NewPacket() *Packet { return ni.getPacket() }
 
-func (ni *NI) putPacket(p *Packet) {
-	*p = Packet{} // drop payload/handler references before pooling
-	ni.pktFree = append(ni.pktFree, p)
-}
+func (ni *NI) putPacket(p *Packet) { ni.pool.putPacket(p) }
 
-func (ni *NI) getTransit() *transit {
-	if n := len(ni.trFree); n > 0 {
-		t := ni.trFree[n-1]
-		ni.trFree[n-1] = nil
-		ni.trFree = ni.trFree[:n-1]
-		return t
-	}
-	chunk := make([]transit, 16)
-	for i := len(chunk) - 1; i > 0; i-- {
-		ni.trFree = append(ni.trFree, &chunk[i])
-	}
-	return &chunk[0]
-}
-
-func (ni *NI) putTransit(t *transit) {
-	ents := t.entries
-	for i := range ents {
-		ents[i] = nil // entries are owned by the rel layer until acked
-	}
-	*t = transit{}
-	t.entries = ents[:0]
-	ni.trFree = append(ni.trFree, t)
-}
-
-// recycle returns a finished transit and its packet to this NI's pools
-// (always called on the origin NI, see getPacket).
-func (ni *NI) recycle(t *transit) {
-	ni.putPacket(t.pkt)
-	ni.putTransit(t)
+// recycle returns a finished transit and its packet to the pool of the
+// LP it finished on (in a serial run, always the origin NI's pool).
+func (t *transit) recycle() {
+	pl := t.pool
+	pl.putPacket(t.pkt)
+	pl.putTransit(t)
 }
 
 // newTransit builds a transit for pkt originating at this NI.
 func (ni *NI) newTransit(pkt *Packet) *transit {
-	t := ni.getTransit()
+	t := ni.pool.getTransit()
 	t.ni = ni
 	t.pkt = pkt
+	t.eng = ni.eng
+	t.pool = &ni.pool
 	return t
 }

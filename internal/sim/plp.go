@@ -1,0 +1,366 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Conservative parallel discrete-event execution (intra-run parallelism).
+//
+// A Cluster partitions one simulation into logical processes (LPs): one
+// per simulated node plus one for the network fabric. Each LP is a full
+// Engine — its own typed 4-ary heap, clock, and Handler dispatch — and
+// LPs exchange timestamped events only through Engine.Send, never by
+// scheduling into each other's heaps directly.
+//
+// Synchronization is barrier-window conservative PDES. Every round the
+// cluster computes a global horizon
+//
+//	H = min over non-empty LPs of (peek().at + LP.lookahead)
+//
+// and each LP executes exactly its events with timestamp < H, in
+// parallel, with no rollback. This is safe because an LP's lookahead is
+// a lower bound on the delta between its current event and anything it
+// can schedule on another LP (for node LPs the fixed cost of the
+// outbound link, for the fabric LP the fixed switch cost — both from
+// internal/topo), so every cross-LP message generated during the round
+// provably lands at time >= H and cannot affect the round itself. The
+// LP that attains the minimum has peek().at = H - lookahead < H, so at
+// least one event executes per round and the simulation always makes
+// progress.
+//
+// Determinism. The serial engine orders same-time events by a global
+// scheduling sequence number; the parallel engine must reproduce that
+// order exactly (byte-identical traces) without a shared counter on the
+// hot path. The event `seq` word is reused as a structured key:
+//
+//	setup key        [1, 2^44)           shared counter, pre-Run only
+//	resolved key     ord<<20 | act       ord >= 2^24, act in [0, 2^20)
+//	provisional key  1<<63 | pos<<20 | act
+//
+// where `ord` is the global execution ordinal of the event's parent
+// (the event that scheduled it), `act` counts the parent's scheduling
+// actions (local and cross-LP through one shared counter, so child
+// order equals call order equals serial order), and `pos` is the
+// parent's index in its LP's current round log. Ordering by
+// (time, parent ordinal, action index) is order-isomorphic to the
+// serial (time, seq) order: serial seq values are handed out in
+// parent-execution order, consecutively per parent.
+//
+// During a round an LP cannot know the global ordinals of the events it
+// executes, so children are keyed provisionally by (pos, act); within
+// one LP that compares identically to serial order (pos is execution
+// order, the provisional bit ranks fresh children after all previously
+// scheduled same-time events, exactly like a larger serial seq). At the
+// barrier the per-LP round logs are K-way merged by (time, key) —
+// resolving provisional keys on the fly, the parent is always merged
+// before its same-round children — and each merged event is assigned
+// the next global ordinal. Provisional keys still sitting in heaps and
+// outboxes are then rewritten to their resolved form; the rewrite is
+// pairwise order-preserving (ordinals are monotone in pos and across
+// rounds), so heaps need no re-heapify. Finally outbox messages are
+// pushed into their target heaps. Cross-LP FIFO ties are therefore
+// broken exactly as the serial engine would have.
+//
+// When only one LP has pending events the cluster drops into lone mode:
+// that LP executes directly on the caller's goroutine, ordinals are
+// assigned as events pop (heap order is serial order when nobody else
+// has events), children get resolved keys immediately, and deferred
+// work runs inline. A cross-LP send ends lone mode after the current
+// event: running past the send's arrival time would be unsound, since
+// the receiver may react back into this LP. Lone mode keeps quiescent
+// phases (one node computing, barrier stragglers) at near-serial speed
+// with no logs, merges, or rewrites.
+const (
+	actBits  = 20
+	actMask  = uint64(1)<<actBits - 1
+	posMask  = uint64(1)<<43 - 1 // pos field of a provisional key (bits 20..62)
+	provBit  = uint64(1) << 63
+	firstOrd = uint64(1) << 24
+	maxSetup = firstOrd << actBits
+)
+
+// logRec records one executed event of the current round: its timestamp
+// and the key it was popped with (possibly still provisional).
+type logRec struct {
+	at  Time
+	key uint64
+}
+
+// crossMsg is an event addressed to another LP, parked in the sender's
+// outbox until the barrier resolves its key and delivers it.
+type crossMsg struct {
+	to    *Engine
+	at    Time
+	start Time
+	key   uint64
+	h     Handler
+}
+
+// deferRec is a unit of work postponed to the barrier (see
+// Engine.DeferFlush): pos identifies the deferring event so the barrier
+// can replay defers in global ordinal order.
+type deferRec struct {
+	pos int
+	at  Time
+	h   Handler
+}
+
+// Cluster couples the LP engines of one parallel run. Construct with
+// NewCluster, wire the simulation against Main() (per-LP engines are
+// reached through Engine.LPNode/LPFabric), then call Run.
+type Cluster struct {
+	all    []*Engine // nodes 0..N-1, fabric at index N
+	fabric *Engine
+
+	workers int
+	exec    bool // Run is active: keys are provisional/resolved, not setup
+
+	// Lone mode: the single non-empty LP currently executing, and
+	// whether its current event has sent cross-LP (which ends the run).
+	lone        *Engine
+	loneCrossed bool
+
+	setupSeq uint64 // shared pre-Run scheduling counter
+	nextOrd  uint64 // next global execution ordinal
+
+	round []*Engine // LPs with events this round
+	heads []int     // merge cursors, one per LP
+
+	workerCh []chan Time
+	wg       sync.WaitGroup
+	widx     int32
+}
+
+// NewCluster builds nodes+1 LP engines (one per node plus the fabric)
+// executed by up to workers OS threads. nodeLA and fabricLA are the
+// lookahead bounds: the minimum virtual-time delta between an event on
+// a node (resp. fabric) LP and anything it schedules cross-LP. Callers
+// derive them from the topology's fixed link and switch costs; they
+// must be positive or conservative synchronization cannot make
+// progress.
+func NewCluster(nodes, workers int, nodeLA, fabricLA Time) *Cluster {
+	if nodes < 1 {
+		panic("sim: NewCluster needs at least one node")
+	}
+	if nodeLA <= 0 || fabricLA <= 0 {
+		panic("sim: NewCluster needs positive lookahead")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	cl := &Cluster{workers: workers, nextOrd: firstOrd}
+	cl.all = make([]*Engine, nodes+1)
+	for i := range cl.all {
+		e := NewEngine()
+		e.cl = cl
+		e.lp = i
+		e.la = nodeLA
+		cl.all[i] = e
+	}
+	cl.fabric = cl.all[nodes]
+	cl.fabric.la = fabricLA
+	cl.round = make([]*Engine, 0, nodes+1)
+	cl.heads = make([]int, nodes+1)
+	return cl
+}
+
+// Main returns the LP of node 0, the engine a parallel run is wired
+// against: construction code holds it and reaches sibling LPs through
+// LPNode/LPFabric (which on a standalone engine return the engine
+// itself, so serial construction paths are unchanged).
+func (cl *Cluster) Main() *Engine { return cl.all[0] }
+
+// Now returns the cluster's virtual time: the clock of the LP that has
+// advanced furthest (the time of the last event executed anywhere).
+func (cl *Cluster) Now() Time {
+	var t Time
+	for _, e := range cl.all {
+		if e.now > t {
+			t = e.now
+		}
+	}
+	return t
+}
+
+// Events returns the total number of events executed, corrected by the
+// per-LP count adjustments (see Engine.AdjustEventCount) so the total
+// matches the serial engine's count event-for-event.
+func (cl *Cluster) Events() uint64 {
+	var n int64
+	for _, e := range cl.all {
+		n += int64(e.nEvents) + e.countAdj
+	}
+	return uint64(n)
+}
+
+// Run executes the simulation to quiescence: rounds of barrier-window
+// parallel execution, lone mode when a single LP has events, done when
+// no LP does. It must be called exactly once, after setup.
+func (cl *Cluster) Run() {
+	cl.exec = true
+	for {
+		active := cl.round[:0]
+		var h Time
+		for _, e := range cl.all {
+			if e.events.len() > 0 {
+				if hh := e.events.peek().at + e.la; len(active) == 0 || hh < h {
+					h = hh
+				}
+				active = append(active, e)
+			}
+		}
+		cl.round = active
+		switch len(active) {
+		case 0:
+			cl.exec = false
+			for _, ch := range cl.workerCh {
+				close(ch)
+			}
+			cl.workerCh = nil
+			return
+		case 1:
+			active[0].runLone()
+		default:
+			cl.runRound(h)
+			cl.barrier()
+		}
+	}
+}
+
+// runRound executes every active LP's events below horizon h, fanning
+// the LPs out over the worker pool. Workers are persistent goroutines
+// spawned lazily; the calling goroutine participates as one of them.
+// LP indices are claimed via an atomic cursor, so the assignment of LPs
+// to threads is load-balanced and — because each LP runs
+// single-threaded and the barrier is serial — has no effect on the
+// simulation's result.
+func (cl *Cluster) runRound(h Time) {
+	nw := cl.workers
+	if nw > len(cl.round) {
+		nw = len(cl.round)
+	}
+	atomic.StoreInt32(&cl.widx, 0)
+	for len(cl.workerCh) < nw-1 {
+		ch := make(chan Time, 1)
+		cl.workerCh = append(cl.workerCh, ch)
+		go cl.workerLoop(ch)
+	}
+	cl.wg.Add(nw - 1)
+	for i := 0; i < nw-1; i++ {
+		cl.workerCh[i] <- h
+	}
+	cl.drain(h)
+	cl.wg.Wait()
+}
+
+func (cl *Cluster) workerLoop(ch chan Time) {
+	for h := range ch {
+		cl.drain(h)
+		cl.wg.Done()
+	}
+}
+
+// drain claims unexecuted LPs of the current round until none remain.
+func (cl *Cluster) drain(h Time) {
+	for {
+		i := int(atomic.AddInt32(&cl.widx, 1)) - 1
+		if i >= len(cl.round) {
+			return
+		}
+		cl.round[i].runWindow(h)
+	}
+}
+
+// barrier globally orders the round just executed and releases its
+// cross-LP effects. It runs single-threaded on the Run goroutine.
+func (cl *Cluster) barrier() {
+	lps := cl.round
+	cur := cl.heads[:len(lps)]
+
+	// 1. Assign global ordinals: K-way merge of the per-LP round logs
+	// by (time, key), resolving provisional keys against ordinals
+	// already assigned this pass (a parent always merges before its
+	// same-round children, so the resolution is available in time).
+	for i := range cur {
+		cur[i] = 0
+	}
+	for _, e := range lps {
+		if cap(e.ord) < len(e.roundLog) {
+			e.ord = make([]uint64, len(e.roundLog))
+		} else {
+			e.ord = e.ord[:len(e.roundLog)]
+		}
+	}
+	for {
+		best := -1
+		var bAt Time
+		var bKey uint64
+		for i, e := range lps {
+			c := cur[i]
+			if c >= len(e.roundLog) {
+				continue
+			}
+			r := e.roundLog[c]
+			k := e.effKey(r.key)
+			if best < 0 || r.at < bAt || (r.at == bAt && k < bKey) {
+				best, bAt, bKey = i, r.at, k
+			}
+		}
+		if best < 0 {
+			break
+		}
+		lps[best].ord[cur[best]] = cl.nextOrd
+		cl.nextOrd++
+		cur[best]++
+	}
+
+	// 2. Replay deferred work in global ordinal order. Each LP's defer
+	// list is already sorted by deferring position (hence by ordinal),
+	// so another K-way merge reproduces the serial interleaving of
+	// side effects that must not run concurrently (monitor commits).
+	for i := range cur {
+		cur[i] = 0
+	}
+	for {
+		best := -1
+		var bOrd uint64
+		for i, e := range lps {
+			c := cur[i]
+			if c >= len(e.defers) {
+				continue
+			}
+			if o := e.ord[e.defers[c].pos]; best < 0 || o < bOrd {
+				best, bOrd = i, o
+			}
+		}
+		if best < 0 {
+			break
+		}
+		d := lps[best].defers[cur[best]]
+		lps[best].defers[cur[best]] = deferRec{}
+		cur[best]++
+		d.h.Run(d.at, d.at)
+	}
+
+	// 3. Rewrite provisional keys left in heaps to resolved form and
+	// deliver outboxes with resolved keys. The rewrite preserves every
+	// pairwise heap order (ordinals are monotone in log position and
+	// strictly above all previously issued keys), so the heap array is
+	// patched in place without re-heapifying.
+	for _, e := range lps {
+		for i := range e.events.a {
+			if ev := &e.events.a[i]; ev.seq&provBit != 0 {
+				ev.seq = e.effKey(ev.seq)
+			}
+		}
+		for i := range e.outbox {
+			m := &e.outbox[i]
+			m.to.events.push(event{at: m.at, seq: e.effKey(m.key), start: m.start, h: m.h})
+			*m = crossMsg{}
+		}
+		e.outbox = e.outbox[:0]
+		e.defers = e.defers[:0]
+		e.roundLog = e.roundLog[:0]
+	}
+}

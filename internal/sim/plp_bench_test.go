@@ -1,0 +1,40 @@
+package sim
+
+// Micro-benchmark for the conservative-parallel cluster's cross-LP
+// handoff: the cost of one Send into a sibling logical process plus the
+// provisional-key dispatch and barrier round that deliver it. This is
+// the per-hop overhead a packet pays each time it crosses an LP
+// boundary (node -> fabric -> node), so it bounds how fine-grained the
+// lookahead windows can get before synchronization dominates.
+// `make bench-smoke` runs it once; compare with
+// `go test -bench CrossLP -benchmem ./internal/sim`.
+
+import "testing"
+
+// crossHop bounces a single event between two node LPs until left
+// reaches zero. Every dispatch performs exactly one cross-LP Send, so
+// one benchmark iteration is one handoff.
+type crossHop struct {
+	cur, next *Engine
+	la        Time
+	left      int
+}
+
+func (h *crossHop) Run(_, now Time) {
+	if h.left == 0 {
+		return
+	}
+	h.left--
+	h.cur.Send(h.next, now+h.la, now, h)
+	h.cur, h.next = h.next, h.cur
+}
+
+func BenchmarkCrossLPHandoff(b *testing.B) {
+	la := Time(1500)
+	cl := NewCluster(2, 2, la, Time(500))
+	lp0 := cl.Main()
+	h := &crossHop{cur: lp0, next: lp0.LPNode(1), la: la, left: b.N}
+	lp0.AtHandler(0, 0, h)
+	b.ResetTimer()
+	cl.Run()
+}

@@ -81,6 +81,26 @@ func (r *Resource) EnqueueHandler(service Time, h Handler) (start, end Time) {
 	return start, end
 }
 
+// Reserve claims the next FIFO slot without scheduling any completion
+// and returns the job's (start, end); the caller delivers the
+// completion itself (e.g. fanning one reservation out to several
+// logical processes).
+func (r *Resource) Reserve(service Time) (start, end Time) {
+	return r.reserve(service)
+}
+
+// EnqueueHandlerCross is EnqueueHandler for completions that belong to
+// a different logical process: the reservation is made on this resource
+// (which must be owned by the LP `from`, the caller's engine), and the
+// completion h.Run(start, end) is delivered to the LP `to` through
+// from.Send. With a standalone engine (from == to) it is byte-identical
+// to EnqueueHandler, so serial pipelines can call it unconditionally.
+func (r *Resource) EnqueueHandlerCross(from, to *Engine, service Time, h Handler) (start, end Time) {
+	start, end = r.reserve(service)
+	from.Send(to, end, start, h)
+	return start, end
+}
+
 // Use runs a job on behalf of process p, blocking it until the job
 // completes, and returns how long the job waited before service began.
 func (r *Resource) Use(p *Proc, service Time) (waited Time) {

@@ -36,6 +36,14 @@ type Config struct {
 	// improved pipelining that recovered Barnes-spatial).
 	SendPipelining int
 
+	// IntraRunWorkers is the number of OS threads executing one
+	// simulation in parallel (conservative PDES with one logical
+	// process per node plus one for the fabric, lookahead derived from
+	// Costs.LinkFixed/SwitchFixed). 0 or 1 selects the serial engine;
+	// any value produces a byte-identical event trace. The cmd-line
+	// knob is -jrun.
+	IntraRunWorkers int
+
 	// Faults configures deterministic network fault injection plus the
 	// NI-firmware reliable-delivery layer that masks it (sequence
 	// numbers, checksums, retransmission, duplicate suppression,
@@ -331,6 +339,13 @@ func (c *Config) Validate() error {
 		return errf("PostQueueDepth = %d, need >= 1", c.PostQueueDepth)
 	case c.SendPipelining < 1:
 		return errf("SendPipelining = %d, need >= 1", c.SendPipelining)
+	case c.IntraRunWorkers < 0:
+		return errf("IntraRunWorkers = %d, need >= 0", c.IntraRunWorkers)
+	case c.IntraRunWorkers > 1 && (c.Costs.LinkFixed <= 0 || c.Costs.SwitchFixed <= 0):
+		// Conservative parallel execution derives its lookahead from the
+		// fixed link and switch latencies; zero lookahead cannot make
+		// progress.
+		return errf("IntraRunWorkers = %d needs Costs.LinkFixed > 0 and Costs.SwitchFixed > 0 (lookahead)", c.IntraRunWorkers)
 	}
 	return c.Faults.validate(c.Nodes)
 }

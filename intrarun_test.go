@@ -1,0 +1,63 @@
+package genima_test
+
+// Intra-run parallel simulation regression: a run partitioned into
+// per-node logical processes (Config.IntraRunWorkers > 1) must produce
+// a packet-level event trace byte-identical to the serial engine — for
+// every worker count, with and without fault injection. The serial
+// goldens in trace_golden_test.go therefore pin the parallel engine
+// too: -jrun 1 must still match them, and -jrun N must match -jrun 1.
+
+import (
+	"testing"
+
+	genima "genima"
+)
+
+// intraRunPoints are the (app, protocol) coverage points: the two
+// golden-trace points plus a middle-ladder rung with direct writes and
+// remote fetch, so the interrupt path, the NI-lock path, and the
+// remote-fetch path all cross logical processes under test.
+var intraRunPoints = []struct {
+	app   string
+	proto genima.Protocol
+}{
+	{"fft", genima.Base},
+	{"lu", genima.DWRF},
+	{"water-nsq", genima.GeNIMA},
+}
+
+func jrunConfig(workers int, faults bool) genima.Config {
+	cfg := genima.DefaultConfig()
+	cfg.IntraRunWorkers = workers
+	if faults {
+		cfg.Faults = genima.FaultMix(0.01, 42)
+	}
+	return cfg
+}
+
+func TestIntraRunTraceByteIdentical(t *testing.T) {
+	for _, pt := range intraRunPoints {
+		for _, faults := range []bool{false, true} {
+			serial := traceHash(t, pt.app, pt.proto, jrunConfig(1, faults))
+			for _, workers := range []int{2, 4} {
+				got := traceHash(t, pt.app, pt.proto, jrunConfig(workers, faults))
+				if got != serial {
+					t.Errorf("%s/%v faults=%v: -jrun %d trace differs from serial:\n got %s\nwant %s",
+						pt.app, pt.proto, faults, workers, got, serial)
+				}
+			}
+		}
+	}
+}
+
+// TestIntraRunSerialMatchesGolden pins -jrun 1 to the committed serial
+// golden hashes: the parallel engine's serial mode must be the exact
+// engine the goldens were recorded on, not a one-worker parallel run.
+func TestIntraRunSerialMatchesGolden(t *testing.T) {
+	if got := traceHash(t, "fft", genima.Base, jrunConfig(1, false)); got != goldenFFTBase {
+		t.Errorf("-jrun 1 fft/Base drifted from golden:\n got %s\nwant %s", got, goldenFFTBase)
+	}
+	if got := traceHash(t, "water-nsq", genima.GeNIMA, jrunConfig(1, false)); got != goldenWaterGeNIMA {
+		t.Errorf("-jrun 1 water-nsq/GeNIMA drifted from golden:\n got %s\nwant %s", got, goldenWaterGeNIMA)
+	}
+}
