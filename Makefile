@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-intrarun smoke-faults bench-smoke bench-json bench-mem bench-guard
+.PHONY: check build vet test race race-intrarun smoke-faults smoke-scale bench-smoke bench-json bench-mem bench-guard
 
-check: build vet test race race-intrarun smoke-faults
+check: build vet test race race-intrarun smoke-faults smoke-scale
 
 build:
 	$(GO) build ./...
@@ -35,13 +35,25 @@ smoke-faults:
 	$(GO) run ./cmd/genima-run -app fft -scale test -proto GeNIMA \
 		-faults 0.01 -fault-seed 42 > /dev/null
 
+# smoke-scale exercises the 64-node multi-stage fabric end to end: one
+# short app on a radix-32 clos2 under Base (interrupt barrier, flat)
+# and GeNIMA (NI collective tree), intra-run parallel (-jrun 4), with
+# 1% faults, validated against the sequential reference.
+smoke-scale:
+	$(GO) run ./cmd/genima-run -app barrierbench -scale test -proto Base \
+		-nodes 64 -procs 1 -topo clos2 -radix 32 -jrun 4 \
+		-faults 0.01 -fault-seed 42 > /dev/null
+	$(GO) run ./cmd/genima-run -app barrierbench -scale test -proto GeNIMA \
+		-nodes 64 -procs 1 -topo clos2 -radix 32 -collectives -jrun 4 \
+		-faults 0.01 -fault-seed 42 > /dev/null
+
 # bench-smoke runs every micro- and suite-benchmark once — a fast "do
 # the benchmarks still build and run" gate, not a measurement. The
 # ./internal/sim pass includes BenchmarkCrossLPHandoff, the cross-LP
 # handoff cost of the conservative-parallel engine.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./internal/sim ./internal/memory ./internal/vmmc
-	$(GO) test -run xxx -bench 'Suite' -benchtime 1x .
+	$(GO) test -run xxx -bench 'Suite|CollectiveBarrier' -benchtime 1x .
 
 # bench-mem measures allocation pressure on the messaging hot paths
 # (Deposit, remote fetch, broadcast, NI locks). The pooled pipeline

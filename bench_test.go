@@ -311,3 +311,36 @@ func BenchmarkApps(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCollectiveBarrier times the collective-path simulation: the
+// barrierbench microbenchmark at 64 nodes on a radix-32 clos2, flat
+// fan-out vs the NI-firmware tree (the scalesweep's smallest point; a
+// bench-smoke gate that the collective machinery still builds and
+// runs, with the tree-vs-flat barrier-time ratio as the metric).
+func BenchmarkCollectiveBarrier(b *testing.B) {
+	e, ok := apps.ByName(apps.Test, "barrierbench")
+	if !ok {
+		b.Fatal("barrierbench missing")
+	}
+	mk := func(collectives bool) genima.Config {
+		cfg := genima.DefaultConfig()
+		cfg.Nodes = 64
+		cfg.ProcsPerNode = 1
+		cfg.Topo = genima.TopoClos2
+		cfg.SwitchRadix = 32
+		cfg.Collectives = collectives
+		return cfg
+	}
+	for i := 0; i < b.N; i++ {
+		flat, _, err := genima.Run(mk(false), genima.GeNIMA, e.App)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tree, _, err := genima.Run(mk(true), genima.GeNIMA, e.App)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(flat.Elapsed)/float64(tree.Elapsed), "tree-speedup")
+		b.ReportMetric(float64(flat.Events+tree.Events), "sim-events")
+	}
+}

@@ -31,7 +31,7 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "comma-separated experiments: fig1,fig2,fig3,fig4,table1,table2,table3,table4,table5 or all; plus scaling and faultsweep (not in all)")
+	expFlag    = flag.String("exp", "all", "comma-separated experiments: fig1,fig2,fig3,fig4,table1,table2,table3,table4,table5 or all; plus scaling, faultsweep and scalesweep (not in all)")
 	scaleFlag  = flag.String("scale", "bench", "problem scale: test or bench")
 	verifyFlag = flag.Bool("verify", false, "validate every run against the sequential reference")
 	nodesFlag  = flag.Int("nodes", 4, "SMP nodes for the main suite (the paper uses 4)")
@@ -86,10 +86,42 @@ type benchSummary struct {
 	// messaging hot paths.
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	BytesPerEvent  float64 `json:"bytes_per_event"`
+	// Deterministic simulated-time barrier costs: mean virtual ns per
+	// barrier episode of the barrierbench microbenchmark. p32 is 8x4
+	// processors on the crossbar with the flat fan-out barrier; p128 is
+	// 32x4 on a radix-8 clos2 with the NI-firmware collective tree.
+	// Unlike the wall-clock fields these are exact model outputs — any
+	// drift is a modeling change, not measurement noise — so the guard
+	// gates them direction-aware (an increase is the regression).
+	BarrierNsP32  *float64 `json:"barrier_ns_p32"`
+	BarrierNsP128 *float64 `json:"barrier_ns_p128"`
 	// Note lists measurement caveats, comma-separated, e.g.
 	// "parallel_skipped_single_cpu" or "intrarun_skipped_single_cpu"
 	// when the box cannot run a meaningful parallel pass.
 	Note string `json:"note,omitempty"`
+}
+
+// timeBarrierNs runs barrierbench once at the given cluster shape and
+// returns the mean simulated ns per barrier episode (2 per round plus
+// the harness's trailing barrier). The result is virtual time: fully
+// deterministic, identical on every box.
+func timeBarrierNs(scale genima.Scale, nodes, procs int, topo genima.Topology, radix int, collectives bool) float64 {
+	entry, ok := apps.ByName(scale, "barrierbench")
+	if !ok {
+		fatal(fmt.Errorf("barrierbench missing"))
+	}
+	rounds := entry.App.(interface{ Rounds() int }).Rounds()
+	cfg := genima.DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.ProcsPerNode = procs
+	cfg.Topo = topo
+	cfg.SwitchRadix = radix
+	cfg.Collectives = collectives
+	res, _, err := genima.Run(cfg, genima.GeNIMA, entry.App)
+	if err != nil {
+		fatal(err)
+	}
+	return float64(res.Elapsed) / float64(2*rounds+1)
 }
 
 // timeIntraRunEPS times repeated fft/GeNIMA runs at the given
@@ -181,6 +213,8 @@ func runBenchJSON(path string, scale genima.Scale, scaleName string, workers int
 		intraSpeedup := epsIntra / epsIntraSerial
 		epsIntraP, intraSpeedupP = &epsIntra, &intraSpeedup
 	}
+	barrier32 := timeBarrierNs(scale, 8, *procsFlag, genima.TopoXbar, 8, false)
+	barrier128 := timeBarrierNs(scale, 32, *procsFlag, genima.TopoClos2, 8, true)
 	sum := benchSummary{
 		Generated:          time.Now().UTC().Format(time.RFC3339),
 		GoVersion:          runtime.Version(),
@@ -198,6 +232,8 @@ func runBenchJSON(path string, scale genima.Scale, scaleName string, workers int
 		IntraRunSpeedup:    intraSpeedupP,
 		AllocsPerEvent:     float64(allocs) / float64(events),
 		BytesPerEvent:      float64(bytes) / float64(events),
+		BarrierNsP32:       &barrier32,
+		BarrierNsP128:      &barrier128,
 		Note:               strings.Join(notes, ","),
 	}
 	data, err := json.MarshalIndent(sum, "", "  ")
@@ -273,6 +309,35 @@ func runBenchGuard(path string) {
 	}
 	if ratio < 0.75 {
 		fatal(fmt.Errorf("serial throughput regressed >25%% against %s", path))
+	}
+
+	// Barrier-cost gates: simulated time, so any change is a modeling
+	// change. Direction-aware (an increase is the regression); null in
+	// the committed file skips the gate per the existing discipline.
+	for _, g := range []struct {
+		name        string
+		committed   *float64
+		nodes, prcs int
+		topo        genima.Topology
+		radix       int
+		collectives bool
+	}{
+		{"barrier_ns_p32", committed.BarrierNsP32, 8, *procsFlag, genima.TopoXbar, 8, false},
+		{"barrier_ns_p128", committed.BarrierNsP128, 32, *procsFlag, genima.TopoClos2, 8, true},
+	} {
+		if g.committed == nil || *g.committed <= 0 {
+			fmt.Fprintf(os.Stderr, "bench-guard: %s check skipped (no committed baseline)\n", g.name)
+			continue
+		}
+		cur := timeBarrierNs(scale, g.nodes, g.prcs, g.topo, g.radix, g.collectives)
+		bratio := cur / *g.committed
+		if !*quietFlag || bratio > 1.25 {
+			fmt.Fprintf(os.Stderr, "bench-guard: %s %.0f ns vs committed %.0f (%.0f%%)\n",
+				g.name, cur, *g.committed, 100*bratio)
+		}
+		if bratio > 1.25 {
+			fatal(fmt.Errorf("%s regressed >25%% against %s", g.name, path))
+		}
 	}
 
 	// Intra-run throughput gate: only when the committed baseline has a
@@ -423,6 +488,13 @@ func main() {
 	}
 	if want["faultsweep"] {
 		d, err := genima.FaultSweep(scale, *seedFlag, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(d)
+	}
+	if want["scalesweep"] {
+		d, err := genima.ScaleSweep(scale, *seedFlag, progress)
 		if err != nil {
 			fatal(err)
 		}

@@ -33,6 +33,10 @@ var (
 	verifyFlag = flag.Bool("verify", true, "validate against the sequential reference")
 	sgFlag     = flag.Bool("sg", false, "enable the NI scatter-gather extension for direct diffs")
 	bcastFlag  = flag.Bool("broadcast", false, "enable NI broadcast for write notices")
+	topoFlag   = flag.String("topo", "xbar8", "network fabric: xbar8, clos2, or fattree")
+	radixFlag  = flag.Int("radix", 8, "switch radix for clos2/fattree (even, >= 4)")
+	collFlag   = flag.Bool("collectives", false, "run barriers and notice broadcasts on the NI-firmware collective tree (DW and later)")
+	arityFlag  = flag.Int("arity", 4, "collective tree fan-out (used with -collectives)")
 	traceFlag  = flag.String("trace", "", "write a per-packet trace to this file")
 	faultsFlag = flag.Float64("faults", 0, "link fault injection: packet drop rate (0,1), with dups/delays/corruption mixed in per FaultMix; 0 disables")
 	seedFlag   = flag.Uint64("fault-seed", 1, "deterministic seed for the fault plan (used with -faults)")
@@ -56,6 +60,14 @@ func main() {
 	cfg.ScatterGather = *sgFlag
 	cfg.NIBroadcast = *bcastFlag
 	cfg.IntraRunWorkers = *jrunFlag
+	topo, terr := genima.ParseTopo(*topoFlag)
+	if terr != nil {
+		fatal(terr)
+	}
+	cfg.Topo = topo
+	cfg.SwitchRadix = *radixFlag
+	cfg.Collectives = *collFlag
+	cfg.CollectiveArity = *arityFlag
 	if *faultsFlag > 0 {
 		cfg.Faults = genima.FaultMix(*faultsFlag, *seedFlag)
 	}

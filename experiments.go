@@ -606,6 +606,121 @@ func FaultSweep(scale Scale, seed uint64, progress func(string)) (*FaultSweepDat
 	return d, nil
 }
 
+// --- Scale sweep: barrier cost vs node count, flat fan-out vs the
+// NI-firmware collective tree (the PR 7 headline experiment; the paper
+// stops at 32 processors, this extrapolates its Figure 2 / Table 2
+// barrier story to 64–512 nodes on a switched fabric) ---
+
+// ScaleSweepData holds per-node-count barrier costs for the
+// barrierbench microbenchmark on a radix-32 clos2 fabric, one
+// processor per node, under a 1% mixed fault plan. FlatNs and TreeNs
+// are mean wall-clock (virtual) ns per barrier episode; TreeSpeedup is
+// flat/tree. Base has no deposit support, so the collective gate
+// leaves it on the interrupt path: its "tree" column equals flat and
+// is reported as the contrast the capability ladder predicts.
+type ScaleSweepData struct {
+	Nodes     []int
+	Protocols []Protocol
+	Radix     int
+	Rounds    int
+	FlatNs    map[Protocol][]float64
+	TreeNs    map[Protocol][]float64
+}
+
+// ScaleSweepNodes is the sweep's cluster-size ladder.
+func ScaleSweepNodes() []int { return []int{64, 128, 256, 512} }
+
+// TreeSpeedup returns flat/tree for one protocol across the ladder.
+func (d *ScaleSweepData) TreeSpeedup(k Protocol) []float64 {
+	out := make([]float64, len(d.Nodes))
+	for i := range d.Nodes {
+		if t := d.TreeNs[k][i]; t > 0 {
+			out[i] = d.FlatNs[k][i] / t
+		}
+	}
+	return out
+}
+
+// ScaleSweep runs barrierbench at each node count in ScaleSweepNodes,
+// per protocol, with collectives off (flat fan-out) and on (NI tree).
+// DW+RF and DW+RF+DD share DW's barrier path exactly, so the sweep
+// covers Base (interrupt barrier), DW (flat deposit vs tree), and
+// GeNIMA (adds NI locks; barrier path as DW). Every run injects the
+// 1% mixed fault plan — completing the sweep certifies the collective
+// tree rides the go-back-N reliable edges.
+func ScaleSweep(scale Scale, seed uint64, progress func(string)) (*ScaleSweepData, error) {
+	e, ok := apps.ByName(scale, "barrierbench")
+	if !ok {
+		return nil, fmt.Errorf("scalesweep: barrierbench app missing")
+	}
+	rounds := e.App.(interface{ Rounds() int }).Rounds()
+	d := &ScaleSweepData{
+		Nodes:     ScaleSweepNodes(),
+		Protocols: []Protocol{Base, DW, GeNIMA},
+		Radix:     32,
+		Rounds:    rounds,
+		FlatNs:    map[Protocol][]float64{},
+		TreeNs:    map[Protocol][]float64{},
+	}
+	// 2 barriers per round plus the harness's trailing flush barrier.
+	barriers := float64(2*rounds + 1)
+	for _, nodes := range d.Nodes {
+		for _, k := range d.Protocols {
+			for _, tree := range []bool{false, true} {
+				cfg := DefaultConfig()
+				cfg.Nodes = nodes
+				cfg.ProcsPerNode = 1
+				cfg.Topo = TopoClos2
+				cfg.SwitchRadix = d.Radix
+				cfg.Collectives = tree
+				cfg.Faults = FaultMix(0.01, seed)
+				if progress != nil {
+					progress(fmt.Sprintf("scalesweep: %d nodes, %v, collectives=%v", nodes, k, tree))
+				}
+				res, _, err := app.RunSVM(cfg, k, e.App)
+				if err != nil {
+					return nil, fmt.Errorf("scalesweep %d nodes %v tree=%v: %w", nodes, k, tree, err)
+				}
+				ns := float64(res.Elapsed) / barriers
+				if tree {
+					d.TreeNs[k] = append(d.TreeNs[k], ns)
+				} else {
+					d.FlatNs[k] = append(d.FlatNs[k], ns)
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// String renders the sweep.
+func (d *ScaleSweepData) String() string {
+	cols := []string{"Protocol", "Barrier"}
+	for _, n := range d.Nodes {
+		cols = append(cols, fmt.Sprintf("%dn", n))
+	}
+	t := stats.NewTable(cols...)
+	for _, k := range d.Protocols {
+		row := []any{k.String(), "flat us"}
+		for i := range d.Nodes {
+			row = append(row, d.FlatNs[k][i]/1000)
+		}
+		t.Row(row...)
+		row = []any{k.String(), "tree us"}
+		for i := range d.Nodes {
+			row = append(row, d.TreeNs[k][i]/1000)
+		}
+		t.Row(row...)
+		row = []any{k.String(), "speedup"}
+		for _, s := range d.TreeSpeedup(k) {
+			row = append(row, s)
+		}
+		t.Row(row...)
+	}
+	return fmt.Sprintf("Scale sweep: mean barrier time (us) on clos2 radix %d, 1 proc/node, 1%% faults, %d rounds\n%s",
+		d.Radix, d.Rounds, t.String())
+}
+
 // String renders the sweep as a degradation table.
 func (d *FaultSweepData) String() string {
 	cols := []string{"Protocol"}

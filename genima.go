@@ -56,6 +56,30 @@ type Config = topo.Config
 // DefaultConfig returns the paper-calibrated 4-node, 4-way-SMP cluster.
 func DefaultConfig() Config { return topo.Default() }
 
+// Topology selects the network fabric (Config.Topo): the idealized
+// 8-way crossbar the paper measured, or a multi-stage switched fabric
+// for the 64–512-node scaling studies.
+type Topology = topo.TopoKind
+
+// The fabric kinds.
+const (
+	// TopoXbar is the single-crossbar Myrinet switch (default).
+	TopoXbar = topo.TopoXbar
+	// TopoClos2 is a two-level leaf/spine Clos built from
+	// SwitchRadix-port switches (up to radix²/2 hosts).
+	TopoClos2 = topo.TopoClos2
+	// TopoFatTree is a three-level fat-tree (up to radix³/4 hosts).
+	TopoFatTree = topo.TopoFatTree
+)
+
+// ParseTopo maps a -topo flag value ("xbar8", "clos2", "fattree") to a
+// Topology.
+func ParseTopo(s string) (Topology, error) { return topo.ParseTopo(s) }
+
+// FabricCapacity returns the maximum host count of a fabric kind at a
+// given switch radix (0 means unlimited: the idealized crossbar).
+func FabricCapacity(k Topology, radix int) int { return topo.FabricCapacity(k, radix) }
+
 // FaultPlan configures deterministic link-fault injection; set it as
 // Config.Faults (see internal/topo and internal/faults).
 type FaultPlan = topo.FaultPlan

@@ -46,11 +46,12 @@ type Result struct {
 // over the run (max across nodes for the per-node devices), plus the
 // largest backlog ever seen in an NI firmware queue.
 type Utilization struct {
-	Firmware   float64  // NI processor (the paper's 33 MHz LANai)
-	PCI        float64  // host I/O bus
-	Link       float64  // busiest link direction
-	Switch     float64  // crossbar
-	MaxBacklog sim.Time // worst firmware-queue backlog observed
+	Firmware    float64    // NI processor (the paper's 33 MHz LANai)
+	PCI         float64    // host I/O bus
+	Link        float64    // busiest link direction
+	Switch      float64    // busiest fabric stage (the crossbar on xbar8)
+	SwitchStage []sim.Time // per-stage summed switch busy time (len = fabric stages)
+	MaxBacklog  sim.Time   // worst firmware-queue backlog observed
 }
 
 // Speedup computes seq.Elapsed / par.Elapsed.
@@ -88,7 +89,8 @@ func RunSVMTraced(cfg topo.Config, kind core.Kind, a App, tracer func(nic.TraceE
 	var cl *sim.Cluster
 	var eng *sim.Engine
 	if cfg.IntraRunWorkers > 1 && cfg.Nodes > 1 {
-		cl = sim.NewCluster(cfg.Nodes, cfg.IntraRunWorkers, cfg.Costs.LinkFixed, cfg.Costs.SwitchFixed)
+		nodeLA, fabLA := cfg.Lookaheads()
+		cl = sim.NewCluster(cfg.Nodes, cfg.IntraRunWorkers, nodeLA, fabLA)
 		eng = cl.Main()
 	} else {
 		eng = sim.NewEngine()
@@ -152,7 +154,10 @@ func RunSVMTraced(cfg topo.Config, kind core.Kind, a App, tracer func(nic.TraceE
 			frac(nis.Fabric.Out[i].Stats().BusyTime), frac(nis.Fabric.In[i].Stats().BusyTime))
 		res.Util.MaxBacklog = maxT(res.Util.MaxBacklog, ni.Firmware.MaxQueued)
 	}
-	res.Util.Switch = frac(nis.Fabric.Switch.Stats().BusyTime)
+	for _, busy := range nis.Fabric.StageBusy() {
+		res.Util.Switch = max(res.Util.Switch, frac(busy))
+	}
+	res.Util.SwitchStage = nis.Fabric.StageBusy()
 	res.Faults = nis.FaultReport()
 	return res, ws, nil
 }

@@ -9,6 +9,7 @@ package apps
 import (
 	"genima/internal/app"
 	"genima/internal/apps/barnes"
+	"genima/internal/apps/barrierbench"
 	"genima/internal/apps/fft"
 	"genima/internal/apps/lu"
 	"genima/internal/apps/ocean"
@@ -72,8 +73,18 @@ func Suite(s Scale) []Entry {
 	}
 }
 
-// ByName returns the suite entry with the given app name.
+// ByName returns the suite entry with the given app name. It also
+// resolves the synthetic "barrierbench" microbenchmark used by the
+// scalesweep experiment, which Suite/Names deliberately omit (it is
+// not one of the paper's workloads).
 func ByName(s Scale, name string) (Entry, bool) {
+	if name == "barrierbench" {
+		r := 8
+		if s == Bench {
+			r = 16
+		}
+		return Entry{barrierbench.New(r), "Barrier-bench", "n/a", "synthetic"}, true
+	}
 	for _, e := range Suite(s) {
 		if e.App.Name() == name {
 			return e, true

@@ -137,9 +137,12 @@ func (n *Node) Barrier(p *sim.Proc) sim.Time {
 	// run the node's barrier protocol.
 	n.barSeq++
 	var proto sim.Time
-	if n.sys.Feat.DW {
+	switch {
+	case n.sys.Feat.DW && n.sys.Cfg.Collectives && n.sys.Cfg.Nodes > 1:
+		proto = n.barrierColl(p, seq)
+	case n.sys.Feat.DW:
 		proto = n.barrierDW(p, seq)
-	} else {
+	default:
 		proto = n.barrierBase(p, seq)
 	}
 	n.Acct.BarrierProto += proto
@@ -182,6 +185,41 @@ func (n *Node) barrierDW(p *sim.Proc, seq int) sim.Time {
 	n.waitNotices(p, e.vc)
 	n.applyUpTo(p, e.vc)
 	return protoSoFar + (p.Now() - t1)
+}
+
+// barrierColl is the NI-firmware tree barrier (DW and later, with
+// Config.Collectives): the leader contributes its vector clock to the
+// k-ary reduction tree rooted at node 0 and blocks until the combined
+// vector is DMA'd back by the broadcast phase — one post instead of
+// Nodes-1, and every combine/fan-out step runs in NI memory with no
+// host interrupts anywhere.
+func (n *Node) barrierColl(p *sim.Proc, seq int) sim.Time {
+	t0 := p.Now()
+	n.closeInterval(p) // diffs + eager (tree-broadcast) notices
+	e := n.barEpochAt(seq)
+	n.ep.NI().ColBarrierArrive(p, seq, n.vc)
+	protoSoFar := p.Now() - t0
+
+	// Wait for the released epoch (pure wait time); the sink stored the
+	// combined vector in e.vc before setting the flag.
+	e.flag.Wait(p)
+
+	t1 := p.Now()
+	n.waitNotices(p, e.vc)
+	n.applyUpTo(p, e.vc)
+	return protoSoFar + (p.Now() - t1)
+}
+
+// colBarSink receives completed tree-barrier epochs from the NI layer
+// (engine context on the landing node's LP).
+type colBarSink struct{ s *System }
+
+// ColBarrierDone implements nic.ColBarrierSink.
+func (k *colBarSink) ColBarrierDone(node, seq int, vec []uint64) {
+	n := k.s.Nodes[node]
+	e := n.barEpochAt(seq)
+	copy(e.vc, vec) // vec is the collective layer's buffer: copy, don't keep
+	e.flag.Set()
 }
 
 // depositBarFlag records a remote node's barrier arrival (engine

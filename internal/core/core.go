@@ -99,6 +99,9 @@ type System struct {
 	noticeDel  noticeDeliver
 	grantDel   grantDeliver
 	barFlagDel barFlagDeliver
+
+	// colSink receives completed NI-tree barrier epochs (collectives).
+	colSink colBarSink
 }
 
 // New creates a protocol system over a fresh communication layer. The
@@ -118,6 +121,16 @@ func New(eng *sim.Engine, cfg *topo.Config, kind Kind, space *memory.Space) *Sys
 	s.Nodes = make([]*Node, cfg.Nodes)
 	for i := range s.Nodes {
 		s.Nodes[i] = newNode(s, i)
+	}
+	if cfg.Collectives && s.Feat.DW && cfg.Nodes > 1 {
+		// NI-firmware collective trees need the deposit-write capability
+		// (protocol data deposited without host involvement): DW and up
+		// use them for barriers and write notices; Base keeps its
+		// interrupt-driven paths as the contrast case.
+		s.colSink.s = s
+		for _, n := range s.Nodes {
+			n.ep.NI().EnableCollectives(cfg.CollectiveArity, &s.colSink)
+		}
 	}
 	return s
 }

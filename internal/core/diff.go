@@ -251,6 +251,16 @@ func (n *Node) bumpVersion(pg, src int, seq uint64) {
 // the NI-broadcast extension (paper §5), the host posts once and the
 // fabric replicates.
 func (n *Node) broadcastNotice(p *sim.Proc, iv *interval) {
+	if n.sys.Cfg.Collectives && n.sys.Cfg.Nodes > 1 {
+		// NI-firmware tree broadcast. Once collectives are on, EVERY
+		// notice from every source takes the tree, regardless of size
+		// (large intervals are fragmented inside the collective layer):
+		// the arrival counters in depositNotice require per-source FIFO
+		// order, which holds within the flat resource chain and within a
+		// source's fixed tree, but not across a mix of the two.
+		n.ep.NI().ColBroadcast(p, iv.wireSize(), "notice", iv, &n.sys.noticeDel)
+		return
+	}
 	if n.sys.Cfg.NIBroadcast && iv.wireSize() <= n.sys.Cfg.MaxPacket {
 		n.ep.DepositBroadcastTo(p, iv.wireSize(), "notice", iv, &n.sys.noticeDel)
 		return

@@ -63,6 +63,8 @@ const (
 	pmSendGate           // send submachine: post-queue admission + launch
 	pmBcastSleep         // broadcast submachine: post overhead
 	pmBcastGate          // broadcast submachine: admission + launch
+	pmColSleep           // collective-tree broadcast: post overhead
+	pmColGate            // collective-tree broadcast: admission + hand to NI
 )
 
 // protoMachine is the per-node protocol process. It implements
@@ -462,7 +464,11 @@ func (pm *protoMachine) step() {
 					pm.st = pmCIDone
 					continue
 				}
-				if n.sys.Cfg.NIBroadcast && pm.ivCur.wireSize() <= n.sys.Cfg.MaxPacket {
+				if n.sys.Cfg.Collectives && n.sys.Cfg.Nodes > 1 {
+					// Same single-path rule as broadcastNotice: with
+					// collectives on, every notice takes the tree.
+					pm.st = pmColSleep
+				} else if n.sys.Cfg.NIBroadcast && pm.ivCur.wireSize() <= n.sys.Cfg.MaxPacket {
 					pm.st = pmBcastSleep
 				} else {
 					pm.noticeDst = 0
@@ -621,6 +627,22 @@ func (pm *protoMachine) step() {
 			tmpl.Payload = iv
 			tmpl.DeliverTo = &n.sys.noticeDel
 			ni.LaunchPostedBroadcast(tmpl, n.ep.BroadcastDsts(), nil)
+			pm.st = pmCIDone
+
+		case pmColSleep:
+			if pm.sleep(c.PostOverhead, pmColGate) {
+				return
+			}
+
+		case pmColGate:
+			ni := n.ep.NI()
+			if !pm.acquireGate(ni.PostQueue) {
+				return
+			}
+			// The NI's collective layer takes over from here: one source
+			// DMA (which releases the post-queue slot), then firmware
+			// tree hops. Machine-context counterpart of broadcastNotice.
+			ni.ColBroadcastPosted(pm.ivCur.wireSize(), "notice", pm.ivCur, &n.sys.noticeDel)
 			pm.st = pmCIDone
 
 		default:

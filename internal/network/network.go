@@ -6,6 +6,8 @@
 package network
 
 import (
+	"fmt"
+
 	"genima/internal/faults"
 	"genima/internal/sim"
 	"genima/internal/topo"
@@ -67,6 +69,11 @@ func NewSwitch(eng *sim.Engine, fixed sim.Time) *Switch {
 	return &Switch{res: sim.NewResource(eng, "switch"), fixed: fixed}
 }
 
+// NewSwitchNamed creates one switch of a multi-stage fabric.
+func NewSwitchNamed(eng *sim.Engine, name string, fixed sim.Time) *Switch {
+	return &Switch{res: sim.NewResource(eng, name), fixed: fixed}
+}
+
 // Route enqueues a routing decision; fn runs when the head flit exits.
 func (s *Switch) Route(fn func(start, end sim.Time)) {
 	s.res.Enqueue(s.fixed, fn)
@@ -99,11 +106,21 @@ func (s *Switch) ServiceTime() sim.Time { return s.fixed }
 // Stats exposes the underlying resource.
 func (s *Switch) Stats() *sim.Resource { return s.res }
 
-// Fabric wires N hosts to one switch with an in- and out-link each.
+// Fabric wires N hosts to a switched fabric with an in- and out-link
+// each. The fabric is one switch (the paper's 8-way crossbar) or a
+// multi-stage topology (clos2/fattree) whose deterministic routes were
+// compiled into Desc at Config build time.
 type Fabric struct {
+	// Switch is the single crossbar, kept as an alias of Switches[0]
+	// for the one-switch call sites and utilization reporting.
 	Switch *Switch
-	Out    []*Link // host -> switch
-	In     []*Link // switch -> host
+	// Switches holds every switch of the fabric, indexed by the ids
+	// Desc's routes use. All of them live on the fabric LP.
+	Switches []*Switch
+	// Desc is the compiled topology: switch inventory + routing table.
+	Desc *topo.FabricDesc
+	Out  []*Link // host -> first switch
+	In   []*Link // last switch -> host
 
 	// Faults is the compiled fault plan, nil when fault injection is
 	// disabled (the common case; nil keeps the fault-free path free of
@@ -113,18 +130,29 @@ type Fabric struct {
 }
 
 // NewFabric builds the fabric for cfg.Nodes hosts. Resources are placed
-// on their owning logical process — the switch on the fabric LP, node
+// on their owning logical process — every switch on the fabric LP, node
 // i's links on node i's LP (LinkFixed is the node LPs' lookahead: every
 // event a node schedules on the fabric is an out-link completion at
-// least LinkFixed away; SwitchFixed is the fabric LP's, by the mirror
-// argument). On a standalone engine LPNode/LPFabric return the engine
-// itself and nothing changes.
+// least LinkFixed away; SwitchFixed, the per-hop cost, is the fabric
+// LP's, by the mirror argument — intermediate hops stay fabric-local).
+// On a standalone engine LPNode/LPFabric return the engine itself and
+// nothing changes.
 func NewFabric(eng *sim.Engine, cfg *topo.Config) *Fabric {
+	desc := cfg.Fabric()
 	f := &Fabric{
-		Switch: NewSwitch(eng.LPFabric(), cfg.Costs.SwitchFixed),
-		Out:    make([]*Link, cfg.Nodes),
-		In:     make([]*Link, cfg.Nodes),
+		Switches: make([]*Switch, desc.NumSwitches),
+		Desc:     desc,
+		Out:      make([]*Link, cfg.Nodes),
+		In:       make([]*Link, cfg.Nodes),
 	}
+	for i := range f.Switches {
+		name := "switch"
+		if desc.NumSwitches > 1 {
+			name = fmt.Sprintf("sw%d.s%d", i, desc.SwitchStage[i])
+		}
+		f.Switches[i] = NewSwitchNamed(eng.LPFabric(), name, cfg.Costs.SwitchFixed)
+	}
+	f.Switch = f.Switches[0]
 	if cfg.Faults.Enabled {
 		f.Faults = faults.New(&cfg.Faults, cfg.Nodes)
 	}
@@ -135,37 +163,79 @@ func NewFabric(eng *sim.Engine, cfg *topo.Config) *Fabric {
 	return f
 }
 
-// UncontendedNet returns the no-queueing network time for n bytes from
-// any host to any other: out-link + switch + in-link.
-func (f *Fabric) UncontendedNet(n int) sim.Time {
-	return f.Out[0].ServiceTime(n) + f.Switch.ServiceTime() + f.In[0].ServiceTime(n)
+// Route returns the switch ids a src->dst packet traverses, in order.
+func (f *Fabric) Route(src, dst int) []int16 { return f.Desc.Route(src, dst) }
+
+// StageBusy returns the total switch busy time accumulated per fabric
+// stage (index 0 = leaf/edge stage).
+func (f *Fabric) StageBusy() []sim.Time {
+	busy := make([]sim.Time, f.Desc.NumStages)
+	for i, sw := range f.Switches {
+		busy[f.Desc.SwitchStage[i]] += sw.res.BusyTime
+	}
+	return busy
 }
 
-// Send moves an n-byte packet from src to dst through the three fabric
-// stages; fn runs when the last byte reaches dst's NI, with inject being
-// the time the packet finished entering the network (end of the out-link
-// stage, the paper's "LANai insertion" boundary).
+// UncontendedNet returns the worst-case no-queueing network time for n
+// bytes between any host pair: out-link + diameter switch hops +
+// in-link. On the crossbar this is the exact (and only) route time.
+func (f *Fabric) UncontendedNet(n int) sim.Time {
+	return f.Out[0].ServiceTime(n) +
+		sim.Time(f.Desc.MaxHops())*f.Switch.ServiceTime() +
+		f.In[0].ServiceTime(n)
+}
+
+// UncontendedNetRoute returns the no-queueing network time for n bytes
+// on the specific src->dst route.
+func (f *Fabric) UncontendedNetRoute(src, dst, n int) sim.Time {
+	return f.Out[src].ServiceTime(n) +
+		sim.Time(len(f.Route(src, dst)))*f.Switch.ServiceTime() +
+		f.In[dst].ServiceTime(n)
+}
+
+// Send moves an n-byte packet from src to dst through the fabric
+// stages (out-link, each switch on the compiled route, in-link); fn
+// runs when the last byte reaches dst's NI, with inject being the time
+// the packet finished entering the network (end of the out-link stage,
+// the paper's "LANai insertion" boundary).
 func (f *Fabric) Send(src, dst, n int, fn func(inject, arrive sim.Time)) {
+	route := f.Route(src, dst)
 	f.Out[src].Transfer(n, func(_, outEnd sim.Time) {
-		f.Switch.Route(func(_, _ sim.Time) {
-			f.In[dst].Transfer(n, func(_, inEnd sim.Time) {
-				fn(outEnd, inEnd)
-			})
-		})
+		var hop func(i int)
+		hop = func(i int) {
+			if i == len(route) {
+				f.In[dst].Transfer(n, func(_, inEnd sim.Time) {
+					fn(outEnd, inEnd)
+				})
+				return
+			}
+			f.Switches[route[i]].Route(func(_, _ sim.Time) { hop(i + 1) })
+		}
+		hop(0)
 	})
 }
 
 // Broadcast moves one n-byte packet from src through the out-link and
-// switch once, then replicates it onto every destination's in-link (the
-// NI-broadcast extension of the paper's §5). fn runs once per
-// destination.
+// its first switch once, then replicates it toward every destination
+// (remaining route hops, then the in-link — the NI-broadcast extension
+// of the paper's §5). fn runs once per destination.
 func (f *Fabric) Broadcast(src int, dsts []int, n int, fn func(dst int, inject, arrive sim.Time)) {
 	f.Out[src].Transfer(n, func(_, outEnd sim.Time) {
-		f.Switch.Route(func(_, _ sim.Time) {
+		f.Switches[f.Desc.FirstSwitch(src)].Route(func(_, _ sim.Time) {
 			for _, dst := range dsts {
-				f.In[dst].Transfer(n, func(_, inEnd sim.Time) {
-					fn(dst, outEnd, inEnd)
-				})
+				route := f.Route(src, dst)
+				var hop func(i int)
+				d := dst
+				hop = func(i int) {
+					if i == len(route) {
+						f.In[d].Transfer(n, func(_, inEnd sim.Time) {
+							fn(d, outEnd, inEnd)
+						})
+						return
+					}
+					f.Switches[route[i]].Route(func(_, _ sim.Time) { hop(i + 1) })
+				}
+				hop(1)
 			}
 		})
 	})

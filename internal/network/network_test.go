@@ -165,3 +165,94 @@ func TestBroadcastFanOutIndependentInLinks(t *testing.T) {
 		t.Errorf("busy in-link did not delay its own copy: dst2=%d dst1=%d", arrive[2], arrive[1])
 	}
 }
+
+// Multi-stage fabric regression: routed sends must charge every switch
+// on the compiled route, and per-stage busy accounting must see it.
+
+func clos2Fabric(t *testing.T, nodes, radix int) (*sim.Engine, *Fabric, *topo.Config) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg := topo.Default()
+	cfg.Topo, cfg.SwitchRadix, cfg.Nodes = topo.TopoClos2, radix, nodes
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return eng, NewFabric(eng, &cfg), &cfg
+}
+
+func TestMultiStageSendMatchesRouteTime(t *testing.T) {
+	eng, f, cfg := clos2Fabric(t, 8, 4) // 2 hosts/leaf: 0->5 is 3 hops
+	if got := len(f.Route(0, 5)); got != 3 {
+		t.Fatalf("route 0->5 has %d hops, want 3", got)
+	}
+	if got := len(f.Route(0, 1)); got != 1 {
+		t.Fatalf("route 0->1 has %d hops, want 1", got)
+	}
+	var sameLeaf, crossLeaf sim.Time
+	eng.At(0, func() {
+		f.Send(0, 1, 256, func(_, a sim.Time) { sameLeaf = a })
+	})
+	eng.RunUntilQuiet()
+	eng.At(eng.Now(), func() {
+		f.Send(0, 5, 256, func(_, a sim.Time) { crossLeaf = a })
+	})
+	start := eng.Now()
+	eng.RunUntilQuiet()
+	if want := f.UncontendedNetRoute(0, 1, 256); sameLeaf != want {
+		t.Errorf("same-leaf arrive = %d, want %d", sameLeaf, want)
+	}
+	if want := start + f.UncontendedNetRoute(0, 5, 256); crossLeaf != want {
+		t.Errorf("cross-leaf arrive = %d, want %d", crossLeaf, want)
+	}
+	if d := f.UncontendedNetRoute(0, 5, 256) - f.UncontendedNetRoute(0, 1, 256); d != 2*cfg.Costs.SwitchFixed {
+		t.Errorf("cross-leaf route costs %d more, want 2 switch hops = %d", d, 2*cfg.Costs.SwitchFixed)
+	}
+}
+
+func TestPerStageBusyAccounting(t *testing.T) {
+	eng, f, cfg := clos2Fabric(t, 8, 4)
+	done := 0
+	eng.At(0, func() {
+		f.Send(0, 1, 64, func(_, _ sim.Time) { done++ }) // leaf-only
+		f.Send(0, 5, 64, func(_, _ sim.Time) { done++ }) // leaf, spine, leaf
+	})
+	eng.RunUntilQuiet()
+	if done != 2 {
+		t.Fatalf("%d sends completed", done)
+	}
+	busy := f.StageBusy()
+	if len(busy) != 2 {
+		t.Fatalf("%d stages reported, want 2", len(busy))
+	}
+	sf := cfg.Costs.SwitchFixed
+	if busy[0] != 3*sf {
+		t.Errorf("leaf stage busy = %d, want %d (3 hops)", busy[0], 3*sf)
+	}
+	if busy[1] != sf {
+		t.Errorf("spine stage busy = %d, want %d (1 hop)", busy[1], sf)
+	}
+}
+
+func TestMultiStageBroadcastTraversesFirstSwitchOnce(t *testing.T) {
+	eng, f, cfg := clos2Fabric(t, 8, 4)
+	arrive := map[int]sim.Time{}
+	eng.At(0, func() {
+		f.Broadcast(0, []int{1, 5}, 64, func(dst int, _, a sim.Time) { arrive[dst] = a })
+	})
+	eng.RunUntilQuiet()
+	if len(arrive) != 2 {
+		t.Fatalf("%d arrivals", len(arrive))
+	}
+	// The shared leaf hop is charged once: exactly 1 (shared leaf) +
+	// 2 (spine+leaf for dst 5) hops of busy time in total.
+	var total sim.Time
+	for _, b := range f.StageBusy() {
+		total += b
+	}
+	if want := 3 * cfg.Costs.SwitchFixed; total != want {
+		t.Errorf("broadcast switch busy = %d, want %d", total, want)
+	}
+	if arrive[5] <= arrive[1] {
+		t.Errorf("3-hop copy (%d) not after 1-hop copy (%d)", arrive[5], arrive[1])
+	}
+}

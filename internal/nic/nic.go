@@ -140,6 +140,11 @@ type NI struct {
 	// pipeline takes no reliability branches at all.
 	rel *relState
 
+	// col is the firmware collective-tree engine (collective.go),
+	// non-nil only when Config.Collectives is on and the protocol tier
+	// has the capability for it (EnableCollectives was called).
+	col *colState
+
 	// pool holds the deterministic free lists for the pooled packet
 	// pipeline (see transit.go). Pools are logical-process-local: in a
 	// parallel run each node LP allocates and recycles only through

@@ -20,8 +20,38 @@ package nic
 // no reassembly buffer), re-acking in both cases. The sender keeps a
 // snapshot of every unacked packet in a pooled retransmission entry;
 // on timeout it retransmits the whole window from NI memory
-// (startAtFirmware, no host DMA) and doubles the timeout up to
-// RetxTimeoutMax, resetting it on cumulative-ack progress.
+// (startAtFirmware, no host DMA) and doubles the timeout, resetting it
+// on cumulative-ack progress.
+//
+// The timeout adapts to the measured round-trip time: an entry that
+// was never retransmitted feeds an EWMA smoothed RTT with the exact
+// sample now-firstSent, and the flow's base RTO is max(RetxTimeout,
+// 2*srtt). Retransmitted entries are ambiguous (Karn's problem) and
+// do not update srtt — sampling them with now-firstSent is divergent,
+// not merely noisy: that sample includes the back-off waits the entry
+// sat through, each loss episode then inflates srtt, the inflated srtt
+// doubles the next wait, and the next sample inflates srtt further, a
+// positive-feedback loop that drives virtual time to absurdity (a
+// 60-packet unit-test burst reached 10^5 simulated seconds before the
+// arithmetic overflowed). The one exception is a flow with no estimate
+// at all (srtt == 0): its first retired entry bootstraps srtt with
+// now-lastSent, the round trip of the copy that finally got through —
+// a sample that contains no back-off waits and so cannot feed back.
+//
+// The back-off itself is uncapped (up to an overflow guard far beyond
+// any run length): consecutive timeouts double the RTO without limit,
+// and only cumulative-ack progress resets it to the base. A static cap
+// is not a safety net but a collapse mechanism at scale — a flat
+// 256-node barrier puts hundreds of multi-KB flag deposits in every
+// NI's firmware FIFO at once, the queueing round trip then exceeds any
+// static cap by an order of magnitude, and with a capped RTO every
+// flow times out forever, each spurious whole-window retransmit (and
+// the dup-ack it provokes) growing the queues faster than they drain.
+// Uncapped doubling instead halves a stuck flow's retransmission
+// pressure each cycle, the fabric drains, the first ack arrives, and
+// the flow learns the real (congested) round trip. The full-window
+// resend then heals a genuine hole in one round trip (the receiver
+// discarded everything behind it).
 //
 // Pool ownership: a retransmission entry snapshots the Packet by VALUE,
 // so the in-flight packet recycles through the normal pipeline pools
@@ -40,6 +70,7 @@ import (
 
 	"genima/internal/sim"
 	"genima/internal/stats"
+	"genima/internal/topo"
 )
 
 // RelFlags bits.
@@ -55,6 +86,12 @@ const (
 	// relMaxAttempts is a tripwire: a packet retransmitted this many
 	// times means the fault plan or backoff logic livelocked.
 	relMaxAttempts = 100
+	// relRTOCeil bounds the uncapped exponential back-off purely for
+	// arithmetic safety: ~9.7 virtual hours, beyond any run length but
+	// far enough from the int64 horizon that now+rto cannot overflow.
+	// It is not a behavioral cap — a flow that reaches it has long
+	// since tripped relMaxAttempts.
+	relRTOCeil = sim.Time(1) << 45
 )
 
 // relChecksum is an FNV-1a hash over the packet header fields the
@@ -148,6 +185,7 @@ type relFlow struct {
 	nextSeq uint64       // last assigned; first packet gets 1
 	pending []*retxEntry // unacked, in sequence order
 	rto     sim.Time     // current timeout (exponential backoff)
+	srtt    sim.Time     // EWMA round-trip estimate; 0 until first sample
 	retx    relTimer
 
 	// Receiver side (packets from the peer).
@@ -285,16 +323,32 @@ func (r *relState) stampBroadcast(t *transit, now sim.Time) {
 	}
 }
 
+// baseRTO is the flow's adaptive initial timeout: twice the smoothed
+// RTT (headroom for jitter and ack delay), floored at the static
+// RetxTimeout while no sample exists or traffic is genuinely fast.
+func (f *relFlow) baseRTO(c *topo.Costs) sim.Time {
+	rto := 2 * f.srtt
+	if rto < c.RetxTimeout {
+		rto = c.RetxTimeout
+	}
+	return rto
+}
+
 func (r *relState) addPending(f *relFlow, e *retxEntry, now sim.Time) {
 	f.pending = append(f.pending, e)
 	if f.retx.deadline == 0 {
-		f.rto = r.ni.cfg.Costs.RetxTimeout
+		f.rto = f.baseRTO(&r.ni.cfg.Costs)
 		f.retx.arm(now + f.rto)
 	}
 }
 
 // retxFire retransmits the whole unacked window to one peer
-// (go-back-N) from NI memory and backs the timeout off.
+// (go-back-N: the receiver discarded everything after the hole, so the
+// successors must travel again for the loss to heal in one round trip)
+// from NI memory and backs the timeout off. The adaptive RTO is what
+// makes the full-window resend safe at scale: the timer only fires
+// when a round trip has genuinely been exceeded, not on a fixed
+// schedule a congested barrier burst can never meet.
 func (r *relState) retxFire(peer int, now sim.Time) {
 	f := &r.flows[peer]
 	if len(f.pending) == 0 {
@@ -304,8 +358,9 @@ func (r *relState) retxFire(peer int, now sim.Time) {
 	for _, e := range f.pending {
 		e.attempts++
 		if e.attempts > relMaxAttempts {
-			panic(fmt.Sprintf("nic: packet %s %d->%d seq %d exceeded %d transmit attempts",
-				e.pkt.Kind, e.pkt.Src, e.pkt.Dst, e.pkt.Seq, relMaxAttempts))
+			panic(fmt.Sprintf("nic: packet %s %d->%d seq %d exceeded %d transmit attempts (pending %d, rto %dns, srtt %dns, firstSent %dns, now %dns)",
+				e.pkt.Kind, e.pkt.Src, e.pkt.Dst, e.pkt.Seq, relMaxAttempts,
+				len(f.pending), f.rto, f.srtt, e.firstSent, now))
 		}
 		e.lastSent = now
 		r.Report.RetxSent++
@@ -323,8 +378,8 @@ func (r *relState) retxFire(peer int, now sim.Time) {
 		td.startAtFirmware()
 	}
 	f.rto *= 2
-	if max := ni.cfg.Costs.RetxTimeoutMax; f.rto > max {
-		f.rto = max
+	if f.rto > relRTOCeil {
+		f.rto = relRTOCeil
 	}
 	f.retx.arm(now + f.rto)
 }
@@ -345,6 +400,21 @@ func (r *relState) processAck(peer int, ack uint64, now sim.Time) {
 				r.Report.MaxRecovery = d
 			}
 		}
+		// RTT sample for the adaptive RTO; EWMA with gain 1/4. Only
+		// never-retransmitted entries sample (Karn's rule: their
+		// now-firstSent is an exact round trip, free of back-off
+		// waits), except that a flow with no estimate yet bootstraps
+		// from the last copy's round trip — see the package comment.
+		if e.attempts == 1 {
+			s := now - e.firstSent
+			if f.srtt == 0 {
+				f.srtt = s
+			} else {
+				f.srtt += (s - f.srtt) / 4
+			}
+		} else if f.srtt == 0 {
+			f.srtt = now - e.lastSent
+		}
 		r.putEntry(e)
 		n++
 	}
@@ -356,7 +426,7 @@ func (r *relState) processAck(peer int, ack uint64, now sim.Time) {
 		f.pending[i] = nil
 	}
 	f.pending = f.pending[:m]
-	f.rto = r.ni.cfg.Costs.RetxTimeout
+	f.rto = f.baseRTO(&r.ni.cfg.Costs)
 	if m == 0 {
 		f.retx.disarm()
 	} else {

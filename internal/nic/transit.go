@@ -28,6 +28,14 @@ type transit struct {
 	stage     int8
 	holdsSlot bool // release the post-queue slot when the source DMA ends
 
+	// route is the packet's compiled switch path (aliases the topology's
+	// flat table — never mutated) and hop the index of the switch whose
+	// crossing is underway or just completed. On the single crossbar
+	// every route is [0] and the pipeline is call-for-call identical to
+	// the one-switch model.
+	route []int16
+	hop   int8
+
 	// eng is the logical process currently carrying the packet and pool
 	// the free lists owned by that LP (the transit and packet recycle
 	// into the pool of the LP they finish on). Both start at the source
@@ -120,23 +128,31 @@ func (t *transit) Run(_, end sim.Time) {
 			pkt.Csum ^= v.CorruptMask
 		}
 		t.stage = stSwitch
-		if fl := t.ni.fab; fl != nil {
-			if t.dsts != nil {
+		t.hop = 0
+		if t.dsts != nil {
+			// Broadcast template: traverse the source's first (leaf)
+			// switch once; fanOut/parFanOut replicate from there.
+			if fl := t.ni.fab; fl != nil {
 				t.parFanOut(fl)
 				return
 			}
-			// Fabric -> destination LP crossing: the switch is owned
-			// by the fabric, its completion runs at the destination.
-			de := t.ni.peers[pkt.Dst]
-			t.ni.fabric.Switch.RouteCross(t.eng, de.eng, t)
-			t.eng, t.pool = de.eng, &de.pool
-		} else {
-			t.ni.fabric.Switch.RouteHandler(t)
+			t.ni.fabric.Switches[t.ni.fabric.Desc.FirstSwitch(pkt.Src)].RouteHandler(t)
+			return
 		}
+		t.route = t.ni.fabric.Route(pkt.Src, pkt.Dst)
+		t.enterSwitch()
 
 	case stSwitch:
 		if t.dsts != nil {
 			t.fanOut()
+			return
+		}
+		if int(t.hop)+1 < len(t.route) {
+			// Multi-stage fabric: more switch hops before the
+			// destination's in-link. Intermediate hops stay on the
+			// fabric LP.
+			t.hop++
+			t.enterSwitch()
 			return
 		}
 		t.stage = stInLink
@@ -199,6 +215,21 @@ func (t *transit) Run(_, end sim.Time) {
 	}
 }
 
+// enterSwitch reserves the route's hop-indexed switch. The final hop's
+// completion is the fabric -> destination-LP crossing in a parallel
+// run (the switch is owned by the fabric, its completion runs at the
+// destination); intermediate hops complete fabric-locally.
+func (t *transit) enterSwitch() {
+	sw := t.ni.fabric.Switches[t.route[t.hop]]
+	if fl := t.ni.fab; fl != nil && int(t.hop) == len(t.route)-1 {
+		de := t.ni.peers[t.pkt.Dst]
+		sw.RouteCross(t.eng, de.eng, t)
+		t.eng, t.pool = de.eng, &de.pool
+		return
+	}
+	sw.RouteHandler(t)
+}
+
 // toDstFirmware enqueues the arrived packet on the destination NI's
 // firmware processor (factored out of Run so the fault-delay stage can
 // share it).
@@ -232,10 +263,13 @@ func (t *transit) dupArrival() {
 	t.ni.fabric.In[pkt.Dst].TransferHandler(cp.Size, td)
 }
 
-// fanOut replicates a broadcast template onto every destination in-link
-// (the switch stage just completed). Each destination gets its own
-// pooled Packet copy and transit; the template is recycled here, so the
-// caller's dsts slice is never retained past the switch stage.
+// fanOut replicates a broadcast template onto every destination (the
+// template's first-switch stage just completed). Each destination gets
+// its own pooled Packet copy and transit; a copy whose route has more
+// switch hops continues at hop 1, a same-leaf copy goes straight to the
+// destination's in-link (on the crossbar, every copy). The template is
+// recycled here, so the caller's dsts slice is never retained past the
+// switch stage.
 func (t *transit) fanOut() {
 	tmpl := t.pkt
 	for i, dst := range t.dsts {
@@ -257,9 +291,16 @@ func (t *transit) fanOut() {
 		td := t.pool.getTransit()
 		td.ni = t.ni
 		td.pkt = cp
-		td.stage = stInLink
 		td.bcastDeliver = t.bcastDeliver
 		td.eng, td.pool = t.eng, t.pool
+		if route := t.ni.fabric.Route(tmpl.Src, dst); len(route) > 1 {
+			td.stage = stSwitch
+			td.route = route
+			td.hop = 1
+			t.ni.fabric.Switches[route[1]].RouteHandler(td)
+			continue
+		}
+		td.stage = stInLink
 		t.ni.fabric.In[dst].TransferHandler(cp.Size, td)
 	}
 	t.recycle()
@@ -280,7 +321,7 @@ func (t *transit) fanOut() {
 // adjustment keeps reported totals identical.
 func (t *transit) parFanOut(fl *fabLP) {
 	tmpl := t.pkt
-	start, routeEnd := t.ni.fabric.Switch.Reserve()
+	start, routeEnd := t.ni.fabric.Switches[t.ni.fabric.Desc.FirstSwitch(tmpl.Src)].Reserve()
 	for i, dst := range t.dsts {
 		cp := fl.pool.getPacket()
 		cp.Src, cp.Dst, cp.Size, cp.Kind = tmpl.Src, dst, tmpl.Size, tmpl.Kind
@@ -294,12 +335,22 @@ func (t *transit) parFanOut(fl *fabLP) {
 			cp.Seq, cp.Ack, cp.RelFlags = e.pkt.Seq, e.pkt.Ack, e.pkt.RelFlags
 			cp.Csum = e.pkt.Csum ^ tmpl.Csum
 		}
-		de := t.ni.peers[dst]
 		td := fl.pool.getTransit()
 		td.ni = t.ni
 		td.pkt = cp
 		td.stage = stSwitch
 		td.bcastDeliver = t.bcastDeliver
+		td.route = t.ni.fabric.Route(tmpl.Src, dst)
+		td.hop = 0
+		if len(td.route) > 1 {
+			// The copy has more switch hops: it stays on the fabric LP
+			// (which owns every switch) and crosses to the destination
+			// at its final hop, like a unicast would.
+			td.eng, td.pool = fl.eng, &fl.pool
+			t.eng.AtHandler(routeEnd, start, td)
+			continue
+		}
+		de := t.ni.peers[dst]
 		td.eng, td.pool = de.eng, &de.pool
 		t.eng.Send(de.eng, routeEnd, start, td)
 	}

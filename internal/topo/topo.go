@@ -62,6 +62,26 @@ type Config struct {
 	// destinations by the fabric, instead of one host post per node.
 	NIBroadcast bool
 
+	// Topo selects the fabric topology (see fabric.go). The default,
+	// TopoXbar, is the paper's single crossbar; clos2 and fattree are
+	// multi-stage switched fabrics for 64-512 node runs.
+	Topo TopoKind
+	// SwitchRadix is the port count of each switch in a multi-stage
+	// fabric (ignored for TopoXbar). Capacity: clos2 holds radix²/2
+	// hosts, fattree radix³/4.
+	SwitchRadix int
+
+	// Collectives moves barrier reduction and write-notice broadcast
+	// onto an NI-firmware k-ary tree: combine and fan-out steps execute
+	// in NI memory with no host interrupts, layered under reliable
+	// delivery. Only protocols with the deposit-write capability (DW
+	// and up) use it; Base keeps its interrupt-driven path as the
+	// contrast case. Default off — the fault-free xbar8 traces the
+	// golden hashes pin are untouched.
+	Collectives bool
+	// CollectiveArity is the fan-out k of the collective tree (>= 2).
+	CollectiveArity int
+
 	Costs Costs
 }
 
@@ -203,6 +223,12 @@ type Costs struct {
 	NISGPerByte float64
 	// NILockService is firmware time per lock operation.
 	NILockService sim.Time
+	// NIColCombine is fixed firmware time per collective combine or
+	// fan-out step executed in NI memory (tree barriers/broadcasts).
+	NIColCombine sim.Time
+	// NIColPerByte is the firmware cost per byte of combining or
+	// copying a collective payload in NI memory.
+	NIColPerByte float64
 	// FetchRetryBackoff is how long a requester waits before retrying a
 	// remote fetch that returned a stale page version.
 	FetchRetryBackoff sim.Time
@@ -219,7 +245,12 @@ type Costs struct {
 	// RetxTimeout is the initial per-flow retransmission timeout; it
 	// doubles on every consecutive timeout (exponential backoff).
 	RetxTimeout sim.Time
-	// RetxTimeoutMax caps the backoff.
+	// RetxTimeoutMax is retained for configuration compatibility but
+	// no longer caps the backoff: the NI's retransmission timeout
+	// backs off without limit until ack progress resets it, because
+	// any static cap below the queueing round trip of a congested
+	// fabric turns the timer into a congestion-collapse engine (see
+	// the internal/nic/reliable.go package comment).
 	RetxTimeoutMax sim.Time
 	// AckDelay is the receiver's delayed cumulative-ack timer: an ack is
 	// pushed this long after an in-order delivery if no reverse traffic
@@ -253,7 +284,11 @@ func Default() Config {
 		MaxPacket:      4096,
 		PostQueueDepth: 64,
 		SendPipelining: 1,
-		Costs:          DefaultCosts(),
+		// Multi-stage fabrics default to 8-port switches (the paper's
+		// Myrinet crossbar radix); -topo picks the shape.
+		SwitchRadix:     8,
+		CollectiveArity: 4,
+		Costs:           DefaultCosts(),
 	}
 }
 
@@ -298,7 +333,8 @@ func DefaultCosts() Costs {
 		NIFetchService: sim.Micro(5),
 		// Reliability layer: the LANai computes a checksum with hardware
 		// assist (~0.5 ns/byte) plus fixed seq/ack bookkeeping; the RTO
-		// starts above a loaded 4 KB round trip and backs off to a cap.
+		// starts above a loaded 4 KB round trip, adapts to measured
+		// round trips, and backs off without a behavioral cap.
 		NIRelFixed:     sim.Micro(0.5),
 		NICsumPerByte:  0.5,
 		RetxTimeout:    sim.Micro(400),
@@ -309,6 +345,11 @@ func DefaultCosts() Costs {
 		NISGPerByte:       30,
 		NILockService:     sim.Micro(4),
 		FetchRetryBackoff: sim.Micro(25),
+		// Collective tree steps: the LANai merges or copies a vector in
+		// NI memory — fixed dispatch plus the same ~slow local-memory
+		// touch rate the SG path pays per byte.
+		NIColCombine: sim.Micro(1),
+		NIColPerByte: 4,
 
 		MprotectBase:    sim.Micro(12),
 		MprotectPerPage: sim.Micro(1.5),
@@ -347,7 +388,53 @@ func (c *Config) Validate() error {
 		// progress.
 		return errf("IntraRunWorkers = %d needs Costs.LinkFixed > 0 and Costs.SwitchFixed > 0 (lookahead)", c.IntraRunWorkers)
 	}
+	if err := c.validateFabric(); err != nil {
+		return err
+	}
 	return c.Faults.validate(c.Nodes)
+}
+
+func (c *Config) validateFabric() error {
+	switch c.Topo {
+	case TopoXbar:
+		// The idealized crossbar scales to any port count.
+	case TopoClos2, TopoFatTree:
+		switch {
+		case c.SwitchRadix < 4 || c.SwitchRadix%2 != 0:
+			// Both shapes split ports evenly between the host/down side
+			// and the up side.
+			return errf("Topo %v needs an even SwitchRadix >= 4, got %d", c.Topo, c.SwitchRadix)
+		case c.Nodes > FabricCapacity(c.Topo, c.SwitchRadix):
+			return errf("Topo %v radix %d holds at most %d nodes, got Nodes = %d",
+				c.Topo, c.SwitchRadix, FabricCapacity(c.Topo, c.SwitchRadix), c.Nodes)
+		}
+	default:
+		return errf("Topo = %d invalid", int(c.Topo))
+	}
+	if c.Collectives {
+		switch {
+		case c.CollectiveArity < 2:
+			return errf("Collectives needs CollectiveArity >= 2, got %d", c.CollectiveArity)
+		case 8*c.Nodes > c.MaxPacket:
+			// The barrier reduction carries one full version vector
+			// (8 bytes per node) in a single packet at every tree hop.
+			return errf("Collectives needs the version vector (8*Nodes = %d bytes) to fit MaxPacket = %d",
+				8*c.Nodes, c.MaxPacket)
+		}
+	}
+	return nil
+}
+
+// Lookaheads returns the conservative-PDES lookahead pair for
+// sim.NewCluster: every event a node LP schedules on the fabric LP is
+// an out-link completion at least LinkFixed away; every event the
+// fabric LP schedules on a node LP is that route's final switch-hop
+// completion, at least SwitchFixed away. SwitchFixed is the minimum
+// per-hop cost on any multi-stage route — intermediate hops only ever
+// push the final crossing further out, so the bound holds for every
+// topology.
+func (c *Config) Lookaheads() (node, fabric sim.Time) {
+	return c.Costs.LinkFixed, c.Costs.SwitchFixed
 }
 
 func (fp *FaultPlan) validate(nodes int) error {

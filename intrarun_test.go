@@ -50,6 +50,45 @@ func TestIntraRunTraceByteIdentical(t *testing.T) {
 	}
 }
 
+// multiStageConfig is the default cluster on a radix-4 clos2 (two
+// hosts per leaf, so cross-leaf routes take 3 switch hops even at 4
+// nodes) — the smallest config where packets cross intermediate
+// switches on the fabric LP.
+func multiStageConfig(workers int, faults, collectives bool) genima.Config {
+	cfg := jrunConfig(workers, faults)
+	cfg.Topo = genima.TopoClos2
+	cfg.SwitchRadix = 4
+	cfg.Collectives = collectives
+	return cfg
+}
+
+// TestIntraRunMultiStageTraceByteIdentical extends the byte-identical
+// guarantee to multi-stage fabrics and the collective-tree protocol:
+// for any worker count, with and without faults, the packet trace must
+// match the serial engine exactly.
+func TestIntraRunMultiStageTraceByteIdentical(t *testing.T) {
+	for _, pt := range []struct {
+		app         string
+		proto       genima.Protocol
+		collectives bool
+	}{
+		{"fft", genima.Base, false},
+		{"fft", genima.GeNIMA, true},
+		{"water-nsq", genima.GeNIMA, true},
+	} {
+		for _, faults := range []bool{false, true} {
+			serial := traceHash(t, pt.app, pt.proto, multiStageConfig(1, faults, pt.collectives))
+			for _, workers := range []int{2, 4} {
+				got := traceHash(t, pt.app, pt.proto, multiStageConfig(workers, faults, pt.collectives))
+				if got != serial {
+					t.Errorf("%s/%v clos2 collectives=%v faults=%v: -jrun %d trace differs from serial:\n got %s\nwant %s",
+						pt.app, pt.proto, pt.collectives, faults, workers, got, serial)
+				}
+			}
+		}
+	}
+}
+
 // TestIntraRunSerialMatchesGolden pins -jrun 1 to the committed serial
 // golden hashes: the parallel engine's serial mode must be the exact
 // engine the goldens were recorded on, not a one-worker parallel run.
