@@ -21,11 +21,12 @@ race:
 	$(GO) test -race ./...
 
 # race-intrarun runs the intra-run parallel-simulation determinism
-# tests (byte-identical traces across -jrun 1/2/4, with and without
-# faults) under the race detector, at test scale so the bound stays
-# CI-friendly.
+# tests (byte-identical traces across -jrun and -lpshards combinations,
+# with and without faults) under the race detector, at test scale.
+# -short keeps the 512-node leg out of the race budget; the 128-node
+# sharded matrix still runs, so sharded clusters are race-checked.
 race-intrarun:
-	$(GO) test -race -run 'TestIntraRun' -count=1 .
+	$(GO) test -race -short -run 'TestIntraRun' -count=1 .
 
 # smoke-faults exercises the fault-injection + NI reliable-delivery
 # recovery path end to end: one short app at a 1% drop rate (with dups,
@@ -35,10 +36,12 @@ smoke-faults:
 	$(GO) run ./cmd/genima-run -app fft -scale test -proto GeNIMA \
 		-faults 0.01 -fault-seed 42 > /dev/null
 
-# smoke-scale exercises the 64-node multi-stage fabric end to end: one
-# short app on a radix-32 clos2 under Base (interrupt barrier, flat)
-# and GeNIMA (NI collective tree), intra-run parallel (-jrun 4), with
-# 1% faults, validated against the sequential reference.
+# smoke-scale exercises the multi-stage fabrics end to end: one short
+# app on a radix-32 clos2 under Base (interrupt barrier, flat) and
+# GeNIMA (NI collective tree) at 64 nodes, plus a 128-node radix-16
+# clos2 leg under explicit LP sharding (-jrun 4 -lpshards 4) — all
+# intra-run parallel, with 1% faults, validated against the sequential
+# reference.
 smoke-scale:
 	$(GO) run ./cmd/genima-run -app barrierbench -scale test -proto Base \
 		-nodes 64 -procs 1 -topo clos2 -radix 32 -jrun 4 \
@@ -46,6 +49,9 @@ smoke-scale:
 	$(GO) run ./cmd/genima-run -app barrierbench -scale test -proto GeNIMA \
 		-nodes 64 -procs 1 -topo clos2 -radix 32 -collectives -jrun 4 \
 		-faults 0.01 -fault-seed 42 > /dev/null
+	$(GO) run ./cmd/genima-run -app barrierbench -scale test -proto GeNIMA \
+		-nodes 128 -procs 1 -topo clos2 -radix 16 -collectives \
+		-jrun 4 -lpshards 4 -faults 0.01 -fault-seed 42 > /dev/null
 
 # bench-smoke runs every micro- and suite-benchmark once — a fast "do
 # the benchmarks still build and run" gate, not a measurement. The

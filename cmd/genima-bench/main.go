@@ -44,6 +44,7 @@ var (
 	benchGuard = flag.String("benchguard", "", "compare current serial throughput against this committed BENCH_sim.json and exit nonzero on a >25% regression")
 	faultsFlag = flag.Float64("faults", 0, "link fault injection for the main suite: packet drop rate (0,1) per FaultMix; 0 disables")
 	seedFlag   = flag.Uint64("fault-seed", 1, "deterministic seed for -faults and the faultsweep experiment")
+	lpsFlag    = flag.Int("lpshards", 0, "node shards (logical processes) for intra-run timing points; 0 = auto (min(workers, nodes))")
 )
 
 func fatal(err error) {
@@ -95,6 +96,17 @@ type benchSummary struct {
 	// gates them direction-aware (an increase is the regression).
 	BarrierNsP32  *float64 `json:"barrier_ns_p32"`
 	BarrierNsP128 *float64 `json:"barrier_ns_p128"`
+	// PDES scaling points: engine throughput on barrierbench at
+	// ProcsPerNode=1 over large multi-stage fabrics — 128 nodes on a
+	// radix-16 clos2 with the NI collective tree (GeNIMA) and 512 nodes
+	// on a radix-16 fat tree with the flat interrupt barrier (Base).
+	// events_per_sec_pN is the serial engine (measurable on any box);
+	// intrarun_speedup_pN is the same point at IntraRunWorkers=workers
+	// and LPShards auto, over serial — null on a single-CPU box.
+	EventsPerSecP128 *float64 `json:"events_per_sec_p128"`
+	EventsPerSecP512 *float64 `json:"events_per_sec_p512"`
+	IntraSpeedupP128 *float64 `json:"intrarun_speedup_p128"`
+	IntraSpeedupP512 *float64 `json:"intrarun_speedup_p512"`
 	// Note lists measurement caveats, comma-separated, e.g.
 	// "parallel_skipped_single_cpu" or "intrarun_skipped_single_cpu"
 	// when the box cannot run a meaningful parallel pass.
@@ -136,10 +148,57 @@ func timeIntraRunEPS(scale genima.Scale, workers int) float64 {
 	cfg.Nodes = *nodesFlag
 	cfg.ProcsPerNode = *procsFlag
 	cfg.IntraRunWorkers = workers
+	cfg.LPShards = *lpsFlag
 	best := 0.0
 	for pass := 0; pass < 3; pass++ {
 		t0 := time.Now()
 		res, _, err := genima.Run(cfg, genima.GeNIMA, entry.App)
+		if err != nil {
+			fatal(err)
+		}
+		if eps := float64(res.Events) / time.Since(t0).Seconds(); eps > best {
+			best = eps
+		}
+	}
+	return best
+}
+
+// scalePoint describes one PDES scaling point (see the benchSummary
+// field docs): barrierbench at ProcsPerNode=1 on a large fabric.
+type scalePoint struct {
+	nodes       int
+	topo        genima.Topology
+	radix       int
+	proto       genima.Protocol
+	collectives bool
+}
+
+var (
+	scaleP128 = scalePoint{128, genima.TopoClos2, 16, genima.GeNIMA, true}
+	scaleP512 = scalePoint{512, genima.TopoFatTree, 16, genima.Base, false}
+)
+
+// timeScaleEPS times barrierbench at one scaling point and returns the
+// best observed events/sec over three passes. workers<=1 is the serial
+// engine; otherwise the run is partitioned into LPShards shards
+// (0 = auto) under IntraRunWorkers=workers.
+func timeScaleEPS(scale genima.Scale, p scalePoint, workers, shards int) float64 {
+	entry, ok := apps.ByName(scale, "barrierbench")
+	if !ok {
+		fatal(fmt.Errorf("barrierbench missing"))
+	}
+	cfg := genima.DefaultConfig()
+	cfg.Nodes = p.nodes
+	cfg.ProcsPerNode = 1
+	cfg.Topo = p.topo
+	cfg.SwitchRadix = p.radix
+	cfg.Collectives = p.collectives
+	cfg.IntraRunWorkers = workers
+	cfg.LPShards = shards
+	best := 0.0
+	for pass := 0; pass < 3; pass++ {
+		t0 := time.Now()
+		res, _, err := genima.Run(cfg, p.proto, entry.App)
 		if err != nil {
 			fatal(err)
 		}
@@ -215,6 +274,18 @@ func runBenchJSON(path string, scale genima.Scale, scaleName string, workers int
 	}
 	barrier32 := timeBarrierNs(scale, 8, *procsFlag, genima.TopoXbar, 8, false)
 	barrier128 := timeBarrierNs(scale, 32, *procsFlag, genima.TopoClos2, 8, true)
+	// PDES scaling points: serial throughput is measurable anywhere; the
+	// intra-run speedups need real parallelism.
+	epsP128 := timeScaleEPS(scale, scaleP128, 1, 0)
+	epsP512 := timeScaleEPS(scale, scaleP512, 1, 0)
+	var speedupP128P, speedupP512P *float64
+	if runtime.NumCPU() == 1 {
+		notes = append(notes, "intrarun_scale_skipped_single_cpu")
+	} else {
+		s128 := timeScaleEPS(scale, scaleP128, workers, *lpsFlag) / epsP128
+		s512 := timeScaleEPS(scale, scaleP512, workers, *lpsFlag) / epsP512
+		speedupP128P, speedupP512P = &s128, &s512
+	}
 	sum := benchSummary{
 		Generated:          time.Now().UTC().Format(time.RFC3339),
 		GoVersion:          runtime.Version(),
@@ -234,6 +305,10 @@ func runBenchJSON(path string, scale genima.Scale, scaleName string, workers int
 		BytesPerEvent:      float64(bytes) / float64(events),
 		BarrierNsP32:       &barrier32,
 		BarrierNsP128:      &barrier128,
+		EventsPerSecP128:   &epsP128,
+		EventsPerSecP512:   &epsP512,
+		IntraSpeedupP128:   speedupP128P,
+		IntraSpeedupP512:   speedupP512P,
 		Note:               strings.Join(notes, ","),
 	}
 	data, err := json.MarshalIndent(sum, "", "  ")
@@ -337,6 +412,68 @@ func runBenchGuard(path string) {
 		}
 		if bratio > 1.25 {
 			fatal(fmt.Errorf("%s regressed >25%% against %s", g.name, path))
+		}
+	}
+
+	// PDES scaling-point gates. Serial throughput at 128/512 nodes is
+	// wall-clock but measurable on any box: skip only when the committed
+	// file predates the field (null), fail on a >25% regression. The
+	// per-scale intra-run speedups additionally need real parallelism:
+	// skip those on a single-CPU box per the null-not-zero discipline.
+	for _, g := range []struct {
+		name      string
+		committed *float64
+		point     scalePoint
+	}{
+		{"events_per_sec_p128", committed.EventsPerSecP128, scaleP128},
+		{"events_per_sec_p512", committed.EventsPerSecP512, scaleP512},
+	} {
+		if g.committed == nil || *g.committed <= 0 {
+			fmt.Fprintf(os.Stderr, "bench-guard: %s check skipped (no committed baseline)\n", g.name)
+			continue
+		}
+		best := 0.0
+		for pass := 0; pass < 2; pass++ {
+			if eps := timeScaleEPS(scale, g.point, 1, 0); eps > best {
+				best = eps
+			}
+		}
+		sratio := best / *g.committed
+		if !*quietFlag || sratio < 0.75 {
+			fmt.Fprintf(os.Stderr, "bench-guard: %s %.0f events/sec vs committed %.0f (%.0f%%)\n",
+				g.name, best, *g.committed, 100*sratio)
+		}
+		if sratio < 0.75 {
+			fatal(fmt.Errorf("%s regressed >25%% against %s", g.name, path))
+		}
+	}
+	for _, g := range []struct {
+		name      string
+		committed *float64
+		point     scalePoint
+	}{
+		{"intrarun_speedup_p128", committed.IntraSpeedupP128, scaleP128},
+		{"intrarun_speedup_p512", committed.IntraSpeedupP512, scaleP512},
+	} {
+		switch {
+		case g.committed == nil || *g.committed <= 0:
+			fmt.Fprintf(os.Stderr, "bench-guard: %s check skipped (no committed baseline; baseline box was single-CPU)\n", g.name)
+		case runtime.NumCPU() == 1:
+			fmt.Fprintf(os.Stderr, "bench-guard: %s check skipped (single CPU; intra-run timing is meaningless here)\n", g.name)
+		default:
+			w := committed.Workers
+			if w < 2 {
+				w = runtime.GOMAXPROCS(0)
+			}
+			cur := timeScaleEPS(scale, g.point, w, 0) / timeScaleEPS(scale, g.point, 1, 0)
+			iratio := cur / *g.committed
+			if !*quietFlag || iratio < 0.75 {
+				fmt.Fprintf(os.Stderr, "bench-guard: %s %.2fx vs committed %.2fx (%.0f%%)\n",
+					g.name, cur, *g.committed, 100*iratio)
+			}
+			if iratio < 0.75 {
+				fatal(fmt.Errorf("%s regressed >25%% against %s", g.name, path))
+			}
 		}
 	}
 

@@ -40,7 +40,8 @@ var (
 	traceFlag  = flag.String("trace", "", "write a per-packet trace to this file")
 	faultsFlag = flag.Float64("faults", 0, "link fault injection: packet drop rate (0,1), with dups/delays/corruption mixed in per FaultMix; 0 disables")
 	seedFlag   = flag.Uint64("fault-seed", 1, "deterministic seed for the fault plan (used with -faults)")
-	jrunFlag   = flag.Int("jrun", 1, "intra-run simulation workers (per-node logical processes); any value yields a byte-identical result")
+	jrunFlag   = flag.Int("jrun", 1, "intra-run simulation workers executing shard logical processes; any value yields a byte-identical result")
+	lpsFlag    = flag.Int("lpshards", 0, "node shards (logical processes) for intra-run parallelism; 0 = auto (min(jrun, nodes)); any value yields a byte-identical result")
 )
 
 func main() {
@@ -60,6 +61,7 @@ func main() {
 	cfg.ScatterGather = *sgFlag
 	cfg.NIBroadcast = *bcastFlag
 	cfg.IntraRunWorkers = *jrunFlag
+	cfg.LPShards = *lpsFlag
 	topo, terr := genima.ParseTopo(*topoFlag)
 	if terr != nil {
 		fatal(terr)

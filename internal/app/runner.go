@@ -83,14 +83,20 @@ func RunSVMTraced(cfg topo.Config, kind core.Kind, a App, tracer func(nic.TraceE
 		return nil, nil, err
 	}
 	// Intra-run parallelism: with more than one worker and more than one
-	// node, the run is partitioned into per-node logical processes under
-	// a conservative PDES cluster. The serial path builds no cluster at
-	// all, so it is exactly the engine the goldens were recorded on.
+	// node, the run is partitioned into shard-granular logical processes
+	// under a conservative PDES cluster (LPShards node shards plus the
+	// fabric LP; see Config.EffectiveLPShards). The serial path builds no
+	// cluster at all, so it is exactly the engine the goldens were
+	// recorded on. The wiring below is bipartite by construction — nodes
+	// talk to other nodes only through fabric links and switches
+	// (TransferCross/RouteCross in internal/network), and NI-local timers
+	// stay on their own LP — so the cluster may batch windows per class.
 	var cl *sim.Cluster
 	var eng *sim.Engine
 	if cfg.IntraRunWorkers > 1 && cfg.Nodes > 1 {
 		nodeLA, fabLA := cfg.Lookaheads()
-		cl = sim.NewCluster(cfg.Nodes, cfg.IntraRunWorkers, nodeLA, fabLA)
+		cl = sim.NewCluster(cfg.Nodes, cfg.EffectiveLPShards(), cfg.IntraRunWorkers, nodeLA, fabLA)
+		cl.MarkBipartite()
 		eng = cl.Main()
 	} else {
 		eng = sim.NewEngine()

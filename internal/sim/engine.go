@@ -144,14 +144,22 @@ type Engine struct {
 	lp       int    // this LP's index in cl.all
 	la       Time   // lookahead: min cross-LP scheduling delta
 	inRound  bool   // runWindow is executing this LP
-	curPos   int    // round-log position of the executing event
+	curPos   uint64 // absolute log position of the executing event
 	curOrd   uint64 // lone mode: resolved ordinal of the executing event
 	actIdx   uint64 // scheduling actions taken by the executing event
+	winH     Time   // this round's execution horizon (set by Run loop)
+	logStart uint64 // absolute position of roundLog[0] (commit floor)
 	roundLog []logRec
-	ord      []uint64 // barrier-assigned ordinal per round-log position
+	ord      []uint64 // barrier-assigned ordinal per committed log index
 	outbox   []crossMsg
 	defers   []deferRec
 	countAdj int64 // correction added to nEvents by Cluster.Events
+
+	// Membership bookkeeping for the cluster's incremental structures.
+	heapIdx  int32 // index in the cluster's peek heap, -1 when absent
+	peekKey  Time  // cached peek timestamp while in the peek heap
+	touched  bool  // queued in cl.touched for a post-barrier peek sync
+	inLogged bool  // has uncommitted round-log entries (in cl.logged)
 }
 
 // NewEngine returns an empty engine at virtual time zero.
@@ -194,7 +202,10 @@ func (e *Engine) nextKey() uint64 {
 	if cl.lone == e {
 		return e.curOrd<<actBits | a
 	}
-	return provBit | uint64(e.curPos)<<actBits | a
+	if e.curPos > posMask {
+		panic("sim: round-log position overflow")
+	}
+	return provBit | e.curPos<<actBits | a
 }
 
 // At schedules fn to run at virtual time t. Scheduling in the past panics:
@@ -249,14 +260,15 @@ func (e *Engine) Run(deadline Time) Time {
 func (e *Engine) RunUntilQuiet() Time { return e.Run(0) }
 
 // LPNode returns the logical-process engine of node i: in a parallel
-// run the node's own LP, on a standalone engine the engine itself. Code
-// that constructs per-node devices calls this so the same construction
-// path serves serial and parallel runs.
+// run the LP of the shard the node is mapped to (several nodes may
+// share one LP, see Cluster sharding), on a standalone engine the
+// engine itself. Code that constructs per-node devices calls this so
+// the same construction path serves serial and parallel runs.
 func (e *Engine) LPNode(i int) *Engine {
 	if e.cl == nil {
 		return e
 	}
-	return e.cl.all[i]
+	return e.cl.all[e.cl.nodeLP[i]]
 }
 
 // LPFabric returns the network fabric's logical-process engine (the
@@ -285,13 +297,17 @@ func (e *Engine) Send(to *Engine, at, start Time, h Handler) {
 		to.AtHandler(at, start, h)
 		return
 	}
-	if at < e.now {
-		panic(fmt.Sprintf("sim: cross-LP send at %d before now %d", at, e.now))
+	if at < e.now+e.la {
+		panic(fmt.Sprintf("sim: cross-LP send at %d violates lookahead (now %d + la %d)", at, e.now, e.la))
+	}
+	if cl.bipartite && e != cl.fabric && to != cl.fabric {
+		panic("sim: shard-to-shard send in a bipartite cluster (cross-LP traffic must pass the fabric LP)")
 	}
 	key := e.nextKey()
 	if cl.lone == e {
 		cl.loneCrossed = true
 		to.events.push(event{at: at, seq: key, start: start, h: h})
+		cl.markTouched(to)
 		return
 	}
 	e.outbox = append(e.outbox, crossMsg{to: to, at: at, start: start, key: key, h: h})
@@ -326,13 +342,15 @@ func (e *Engine) DeferFlush(h Handler) {
 func (e *Engine) AdjustEventCount(d int64) { e.countAdj += d }
 
 // effKey resolves a provisional key against the ordinals assigned to
-// this LP's round log at the barrier; setup and resolved keys pass
-// through unchanged.
+// this LP's committed log prefix at the barrier (positions are
+// absolute; ord is indexed relative to logStart); setup and resolved
+// keys pass through unchanged. Callers guarantee the referenced
+// position has been committed this barrier.
 func (e *Engine) effKey(k uint64) uint64 {
 	if k&provBit == 0 {
 		return k
 	}
-	return e.ord[int(k>>actBits&posMask)]<<actBits | k&actMask
+	return e.ord[(k>>actBits&posMask)-e.logStart]<<actBits | k&actMask
 }
 
 // runWindow executes this LP's events with timestamp below the round
@@ -343,7 +361,7 @@ func (e *Engine) runWindow(h Time) {
 		ev := e.events.pop()
 		e.now = ev.at
 		e.nEvents++
-		e.curPos = len(e.roundLog)
+		e.curPos = e.logStart + uint64(len(e.roundLog))
 		e.actIdx = 0
 		e.roundLog = append(e.roundLog, logRec{at: ev.at, key: ev.seq})
 		if ev.h != nil {

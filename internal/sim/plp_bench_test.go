@@ -9,7 +9,10 @@ package sim
 // `make bench-smoke` runs it once; compare with
 // `go test -bench CrossLP -benchmem ./internal/sim`.
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+)
 
 // crossHop bounces a single event between two node LPs until left
 // reaches zero. Every dispatch performs exactly one cross-LP Send, so
@@ -31,10 +34,49 @@ func (h *crossHop) Run(_, now Time) {
 
 func BenchmarkCrossLPHandoff(b *testing.B) {
 	la := Time(1500)
-	cl := NewCluster(2, 2, la, Time(500))
+	cl := NewCluster(2, 2, 2, la, Time(500))
 	lp0 := cl.Main()
 	h := &crossHop{cur: lp0, next: lp0.LPNode(1), la: la, left: b.N}
 	lp0.AtHandler(0, 0, h)
+	b.ReportAllocs()
 	b.ResetTimer()
 	cl.Run()
+}
+
+// TestSteadyStateRoundAllocs pins down the pooled round logs and merge
+// scratch: once the per-LP buffers have grown to their working size,
+// a barrier round must not allocate. Two cluster runs differing only in
+// round count are measured; the warm-up allocations cancel in the
+// difference, so the per-round residue must be ~zero.
+func TestSteadyStateRoundAllocs(t *testing.T) {
+	measure := func(iters int) (mallocs uint64, rounds uint64) {
+		// workers=1 keeps everything on the calling goroutine so the
+		// runtime's goroutine machinery cannot pollute the counters.
+		cl := NewCluster(2, 2, 1, 10, 10)
+		main := cl.Main()
+		main.AtHandler(0, 0, &tick{e: main, step: 10, left: iters})
+		lp1 := main.LPNode(1)
+		lp1.AtHandler(0, 0, &tick{e: lp1, step: 10, left: iters})
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		cl.Run()
+		runtime.ReadMemStats(&m1)
+		st := cl.Stats()
+		return m1.Mallocs - m0.Mallocs, st.ParRounds + st.LoneRounds
+	}
+	a1, r1 := measure(2000)
+	a2, r2 := measure(6000)
+	if r2 <= r1 {
+		t.Fatalf("round counts did not scale: %d vs %d", r1, r2)
+	}
+	perRound := float64(a2) - float64(a1)
+	perRound /= float64(r2 - r1)
+	// Allow a little slack for runtime-internal allocations (GC
+	// metadata etc.); the pre-pooling engine allocated several objects
+	// per round, so 0.1 cleanly separates pass from regression.
+	if perRound > 0.1 {
+		t.Errorf("steady-state barrier rounds allocate: %.3f allocs/round (runs: %d allocs / %d rounds, %d allocs / %d rounds)",
+			perRound, a1, r1, a2, r2)
+	}
 }

@@ -1,9 +1,10 @@
 package genima_test
 
 // Intra-run parallel simulation regression: a run partitioned into
-// per-node logical processes (Config.IntraRunWorkers > 1) must produce
-// a packet-level event trace byte-identical to the serial engine — for
-// every worker count, with and without fault injection. The serial
+// shard-granular logical processes (Config.IntraRunWorkers > 1, shard
+// count per Config.LPShards) must produce a packet-level event trace
+// byte-identical to the serial engine — for every (worker, shard)
+// combination, with and without fault injection. The serial
 // goldens in trace_golden_test.go therefore pin the parallel engine
 // too: -jrun 1 must still match them, and -jrun N must match -jrun 1.
 
@@ -83,6 +84,60 @@ func TestIntraRunMultiStageTraceByteIdentical(t *testing.T) {
 				if got != serial {
 					t.Errorf("%s/%v clos2 collectives=%v faults=%v: -jrun %d trace differs from serial:\n got %s\nwant %s",
 						pt.app, pt.proto, pt.collectives, faults, workers, got, serial)
+				}
+			}
+		}
+	}
+}
+
+// scaleMatrixConfig is one point of the at-scale determinism matrix:
+// barrierbench at ProcsPerNode=1 on a large multi-stage fabric, with an
+// explicit shard count (0 = auto).
+func scaleMatrixConfig(nodes int, tp genima.Topology, radix int, collectives bool, workers, shards int, faults bool) genima.Config {
+	cfg := jrunConfig(workers, faults)
+	cfg.Nodes = nodes
+	cfg.ProcsPerNode = 1
+	cfg.Topo = tp
+	cfg.SwitchRadix = radix
+	cfg.Collectives = collectives
+	cfg.LPShards = shards
+	return cfg
+}
+
+// TestIntraRunScaleTraceByteIdentical is the at-scale determinism
+// matrix: a 128-node clos2 and a 512-node fat tree, byte-identical
+// across -jrun 1/4 x -lpshards 1/8/auto, with and without 1% faults.
+// This is the configuration family the LP-sharding work targets — a
+// shard-count change must never change the simulation, only its
+// wall-clock. The 512-node leg is skipped under -short (it dominates
+// the race-detector budget; the 128-node leg still covers sharded
+// clusters there).
+func TestIntraRunScaleTraceByteIdentical(t *testing.T) {
+	for _, pt := range []struct {
+		name        string
+		nodes       int
+		topo        genima.Topology
+		radix       int
+		proto       genima.Protocol
+		collectives bool
+	}{
+		// NI-firmware collective tree on a 2-stage clos: fabric-heavy.
+		{"clos2-128", 128, genima.TopoClos2, 16, genima.GeNIMA, true},
+		// Flat interrupt barrier on a 3-stage fat tree: interrupt-heavy.
+		{"fattree-512", 512, genima.TopoFatTree, 16, genima.Base, false},
+	} {
+		if pt.nodes >= 512 && testing.Short() {
+			continue
+		}
+		for _, faults := range []bool{false, true} {
+			serial := traceHash(t, "barrierbench", pt.proto,
+				scaleMatrixConfig(pt.nodes, pt.topo, pt.radix, pt.collectives, 1, 0, faults))
+			for _, shards := range []int{1, 8, 0} {
+				got := traceHash(t, "barrierbench", pt.proto,
+					scaleMatrixConfig(pt.nodes, pt.topo, pt.radix, pt.collectives, 4, shards, faults))
+				if got != serial {
+					t.Errorf("%s faults=%v: -jrun 4 -lpshards %d trace differs from serial:\n got %s\nwant %s",
+						pt.name, faults, shards, got, serial)
 				}
 			}
 		}

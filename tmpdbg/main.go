@@ -1,0 +1,57 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	genima "genima"
+	"genima/internal/apps"
+)
+
+// usage: tmpdbg <app> <workers> <shards> [nodes topo radix procs faults]
+func main() {
+	w, _ := strconv.Atoi(os.Args[2])
+	s, _ := strconv.Atoi(os.Args[3])
+	cfg := genima.DefaultConfig()
+	cfg.IntraRunWorkers = w
+	cfg.LPShards = s
+	scale := apps.Test
+	if len(os.Args) > 4 {
+		cfg.Nodes, _ = strconv.Atoi(os.Args[4])
+		switch os.Args[5] {
+		case "clos2":
+			cfg.Topo = genima.TopoClos2
+		case "fattree":
+			cfg.Topo = genima.TopoFatTree
+		}
+		cfg.SwitchRadix, _ = strconv.Atoi(os.Args[6])
+		cfg.ProcsPerNode, _ = strconv.Atoi(os.Args[7])
+		if len(os.Args) > 8 && os.Args[8] == "faults" {
+			cfg.Faults = genima.FaultMix(0.01, 42)
+		}
+		scale = apps.Bench
+	}
+	e, ok := apps.ByName(scale, os.Args[1])
+	if !ok {
+		panic("no app " + os.Args[1])
+	}
+	h := sha256.New()
+	t0 := time.Now()
+	res, _, err := genima.RunTraced(cfg, genima.GeNIMA, e.App, func(ev genima.TraceEvent) {
+		fmt.Fprintf(h, "%d|%d|%d|%d|%s|%v|%d|%d|%d|%d\n",
+			ev.Time, ev.Src, ev.Dst, ev.Size, ev.Kind, ev.Firmware,
+			ev.StageTime[0], ev.StageTime[1], ev.StageTime[2], ev.StageTime[3])
+	})
+	if err != nil {
+		panic(err)
+	}
+	wall := time.Since(t0)
+	fmt.Fprintf(h, "elapsed=%d events=%d\n", res.Elapsed, res.Events)
+	fmt.Printf("hash=%s events=%d wall=%v eps=%.0f\n",
+		hex.EncodeToString(h.Sum(nil))[:16], res.Events, wall,
+		float64(res.Events)/wall.Seconds())
+}
