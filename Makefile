@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-intrarun smoke-faults smoke-scale bench-smoke bench-json bench-mem bench-guard
+.PHONY: check build vet test race race-intrarun smoke-faults smoke-scale smoke-soak bench-smoke bench-json bench-mem bench-guard
 
-check: build vet test race race-intrarun smoke-faults smoke-scale
+check: build vet test race race-intrarun smoke-faults smoke-scale smoke-soak
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,53 @@ smoke-scale:
 	$(GO) run ./cmd/genima-run -app barrierbench -scale test -proto GeNIMA \
 		-nodes 128 -procs 1 -topo clos2 -radix 16 -collectives \
 		-jrun 4 -lpshards 4 -faults 0.01 -fault-seed 42 > /dev/null
+
+# smoke-soak exercises soak-scale long-run ops end to end, asserting
+# checkpoint/restore determinism from the shell like an operator would:
+#   (1) single run under faults: halt at a rolling-checkpoint boundary
+#       (exit 130), restore, final canonical trace hash must be
+#       byte-identical to an uninterrupted run's;
+#   (2) soak campaign under faults: kill -INT once the first rolling
+#       cursor checkpoint lands (signal-safe shutdown, exit 130),
+#       resume with -soak-restore, final verification chain must equal
+#       an uninterrupted campaign's, and the JSONL stats log is
+#       non-empty.
+SOAKTMP := /tmp/genima-smoke-soak
+smoke-soak:
+	rm -rf $(SOAKTMP) && mkdir -p $(SOAKTMP)
+	$(GO) build -o $(SOAKTMP)/genima-run ./cmd/genima-run
+	$(GO) build -o $(SOAKTMP)/genima-bench ./cmd/genima-bench
+	$(SOAKTMP)/genima-run -app fft -scale bench -proto GeNIMA -verify=false \
+		-faults 0.01 -fault-seed 42 -trace-hash \
+		| grep -o 'trace-hash=[0-9a-f]*' > $(SOAKTMP)/hash.full
+	sh -c '$(SOAKTMP)/genima-run -app fft -scale bench -proto GeNIMA -verify=false \
+		-faults 0.01 -fault-seed 42 -trace-hash \
+		-checkpoint $(SOAKTMP)/run.ckpt -checkpoint-every 1000 -stop-after 3 \
+		> /dev/null 2> $(SOAKTMP)/halt.err; test $$? -eq 130'
+	$(SOAKTMP)/genima-run -app fft -scale bench -proto GeNIMA -verify=false \
+		-faults 0.01 -fault-seed 42 -trace-hash -restore $(SOAKTMP)/run.ckpt \
+		| grep -o 'trace-hash=[0-9a-f]*' > $(SOAKTMP)/hash.resumed
+	cmp $(SOAKTMP)/hash.full $(SOAKTMP)/hash.resumed
+	$(SOAKTMP)/genima-bench -exp soak -scale test -soak-events 4000000 \
+		-faults 0.01 -fault-seed 5 -q \
+		| grep -o 'chain=[0-9a-f]*' > $(SOAKTMP)/chain.full
+	sh -c '$(SOAKTMP)/genima-bench -exp soak -scale test -soak-events 4000000 \
+		-faults 0.01 -fault-seed 5 -q \
+		-soak-checkpoint $(SOAKTMP)/soak.ckpt -soak-stats $(SOAKTMP)/soak.jsonl \
+		> $(SOAKTMP)/soak.out 2>&1 & pid=$$!; \
+		n=0; until test -f $(SOAKTMP)/soak.ckpt; do \
+			n=$$((n+1)); test $$n -lt 200 || exit 1; sleep 0.05; \
+		done; \
+		kill -INT $$pid; wait $$pid; st=$$?; \
+		test $$st -eq 130 || { echo "soak kill leg: exit $$st, want 130" \
+			"(campaign too short? raise -soak-events)"; exit 1; }'
+	$(SOAKTMP)/genima-bench -exp soak -scale test -soak-events 4000000 \
+		-faults 0.01 -fault-seed 5 -q -soak-restore \
+		-soak-checkpoint $(SOAKTMP)/soak.ckpt -soak-stats $(SOAKTMP)/soak.jsonl \
+		| grep -o 'chain=[0-9a-f]*' > $(SOAKTMP)/chain.resumed
+	cmp $(SOAKTMP)/chain.full $(SOAKTMP)/chain.resumed
+	test -s $(SOAKTMP)/soak.jsonl
+	rm -rf $(SOAKTMP)
 
 # bench-smoke runs every micro- and suite-benchmark once — a fast "do
 # the benchmarks still build and run" gate, not a measurement. The

@@ -19,9 +19,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -31,7 +34,7 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "comma-separated experiments: fig1,fig2,fig3,fig4,table1,table2,table3,table4,table5 or all; plus scaling, faultsweep and scalesweep (not in all)")
+	expFlag    = flag.String("exp", "all", "comma-separated experiments: fig1,fig2,fig3,fig4,table1,table2,table3,table4,table5 or all; plus scaling, faultsweep, scalesweep and soak (not in all)")
 	scaleFlag  = flag.String("scale", "bench", "problem scale: test or bench")
 	verifyFlag = flag.Bool("verify", false, "validate every run against the sequential reference")
 	nodesFlag  = flag.Int("nodes", 4, "SMP nodes for the main suite (the paper uses 4)")
@@ -45,6 +48,14 @@ var (
 	faultsFlag = flag.Float64("faults", 0, "link fault injection for the main suite: packet drop rate (0,1) per FaultMix; 0 disables")
 	seedFlag   = flag.Uint64("fault-seed", 1, "deterministic seed for -faults and the faultsweep experiment")
 	lpsFlag    = flag.Int("lpshards", 0, "node shards (logical processes) for intra-run timing points; 0 = auto (min(workers, nodes))")
+
+	soakEvents    = flag.Uint64("soak-events", 100_000_000, "soak: stop once cumulative simulated events reach this total (0 = bound by -soak-iters alone)")
+	soakIters     = flag.Uint64("soak-iters", 0, "soak: iteration cap (0 = bound by -soak-events alone)")
+	soakStopAfter = flag.Uint64("soak-stop-after", 0, "soak: halt after this many iterations this invocation, writing a checkpoint (CI restore hook; 0 = no cap)")
+	soakCkpt      = flag.String("soak-checkpoint", "", "soak: rolling iteration-cursor checkpoint file")
+	soakStats     = flag.String("soak-stats", "", "soak: append one JSON stats line per iteration to this file")
+	soakRestore   = flag.Bool("soak-restore", false, "soak: resume from -soak-checkpoint (fresh campaign if the file does not exist yet)")
+	soakJrun      = flag.Int("soak-jrun", 1, "soak: intra-run simulation workers per iteration (byte-identical chain for any value)")
 )
 
 func fatal(err error) {
@@ -330,6 +341,83 @@ func runBenchJSON(path string, scale genima.Scale, scaleName string, workers int
 	}
 }
 
+// runSoak drives an unattended long-run campaign (genima.Soak):
+// iterations cycle the app suite and the protocol ladder under per-
+// iteration fault seeds, chaining trace hashes, streaming JSONL stats,
+// and keeping a rolling O(1) checkpoint cursor. SIGINT/SIGTERM halt at
+// the next iteration boundary with a checkpoint and exit 128+sig.
+func runSoak(scaleName string) {
+	cfg := genima.DefaultConfig()
+	cfg.Nodes = *nodesFlag
+	cfg.ProcsPerNode = *procsFlag
+	cfg.IntraRunWorkers = *soakJrun
+	cfg.LPShards = *lpsFlag
+	opts := genima.SoakOptions{
+		Scale:          scaleName,
+		TargetEvents:   *soakEvents,
+		Iters:          *soakIters,
+		StopAfter:      *soakStopAfter,
+		CheckpointPath: *soakCkpt,
+		StatsPath:      *soakStats,
+		FaultRate:      *faultsFlag,
+		FaultSeed:      *seedFlag,
+	}
+	if *soakRestore {
+		if *soakCkpt == "" {
+			fatal(fmt.Errorf("-soak-restore needs -soak-checkpoint"))
+		}
+		st, err := genima.LoadCheckpoint(*soakCkpt)
+		switch {
+		case err == nil:
+			opts.Restore = st
+		case os.IsNotExist(err):
+			// Fresh campaign; the checkpoint appears after iteration 1.
+		default:
+			fatal(err)
+		}
+	}
+	var sig atomic.Int32
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-ch
+		signal.Stop(ch)
+		n := syscall.SIGINT
+		if ss, ok := s.(syscall.Signal); ok {
+			n = ss
+		}
+		sig.Store(int32(n))
+	}()
+	opts.ShouldStop = func() bool { return sig.Load() != 0 }
+	if !*quietFlag {
+		opts.Emit = func(r genima.SoakRecord) {
+			fmt.Fprintf(os.Stderr, "soak: iter=%d %s/%s events=%d cum=%d chain=%s wall=%dms heap=%.1fMB\n",
+				r.Iter, r.App, r.Proto, r.Events, r.CumEvents, r.Chain,
+				r.WallMS, float64(r.HeapBytes)/(1<<20))
+		}
+	}
+	res, err := genima.Soak(cfg, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("soak: iters=%d events=%d chain=%s interrupted=%v\n",
+		res.Iters, res.Events, res.Chain, res.Interrupted)
+	if n := sig.Load(); res.Interrupted && n != 0 {
+		os.Exit(128 + int(n))
+	}
+}
+
+// skipReason disambiguates a null intra-run field in a committed
+// baseline: the benchjson writer records a note token when the field
+// was skipped on a single-CPU box, so a null WITHOUT the token means
+// the committed file simply predates the field.
+func skipReason(note, token string) string {
+	if strings.Contains(note, token) {
+		return "baseline box was single-CPU"
+	}
+	return "committed baseline predates this field"
+}
+
 // runBenchGuard is the CI regression gate: re-time the serial suite at
 // the committed baseline's scale and fail if events/sec dropped more
 // than 25% below the committed number. Two passes, best taken, so a
@@ -457,7 +545,8 @@ func runBenchGuard(path string) {
 	} {
 		switch {
 		case g.committed == nil || *g.committed <= 0:
-			fmt.Fprintf(os.Stderr, "bench-guard: %s check skipped (no committed baseline; baseline box was single-CPU)\n", g.name)
+			fmt.Fprintf(os.Stderr, "bench-guard: %s check skipped (%s)\n",
+				g.name, skipReason(committed.Note, "intrarun_scale_skipped_single_cpu"))
 		case runtime.NumCPU() == 1:
 			fmt.Fprintf(os.Stderr, "bench-guard: %s check skipped (single CPU; intra-run timing is meaningless here)\n", g.name)
 		default:
@@ -481,7 +570,8 @@ func runBenchGuard(path string) {
 	// measured number (multi-CPU box) and this box can reproduce one.
 	switch {
 	case committed.EventsPerSecIntra == nil || *committed.EventsPerSecIntra <= 0:
-		fmt.Fprintln(os.Stderr, "bench-guard: intra-run check skipped (no committed baseline; baseline box was single-CPU)")
+		fmt.Fprintf(os.Stderr, "bench-guard: intra-run check skipped (%s)\n",
+			skipReason(committed.Note, "intrarun_skipped_single_cpu"))
 	case runtime.NumCPU() == 1:
 		fmt.Fprintln(os.Stderr, "bench-guard: intra-run check skipped (single CPU; intra-run timing is meaningless here)")
 	default:
@@ -553,6 +643,10 @@ func main() {
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
 		want[strings.TrimSpace(e)] = true
+	}
+	if want["soak"] {
+		runSoak(scaleName)
+		return
 	}
 	all := want["all"]
 	sel := func(name string) bool { return all || want[name] }

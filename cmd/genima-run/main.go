@@ -11,10 +11,16 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
 )
 
 import (
@@ -42,6 +48,13 @@ var (
 	seedFlag   = flag.Uint64("fault-seed", 1, "deterministic seed for the fault plan (used with -faults)")
 	jrunFlag   = flag.Int("jrun", 1, "intra-run simulation workers executing shard logical processes; any value yields a byte-identical result")
 	lpsFlag    = flag.Int("lpshards", 0, "node shards (logical processes) for intra-run parallelism; 0 = auto (min(jrun, nodes)); any value yields a byte-identical result")
+
+	ckptFlag      = flag.String("checkpoint", "", "write a rolling checkpoint to this file (SIGINT/SIGTERM also flush one and exit 128+sig)")
+	ckptEveryFlag = flag.Uint64("checkpoint-every", genima.DefaultCheckpointEvery, "trace events between checkpoint/stats boundaries")
+	restoreFlag   = flag.String("restore", "", "resume from this checkpoint file (deterministic replay to the cut, then continue)")
+	hashFlag      = flag.Bool("trace-hash", false, "print the canonical SHA-256 trace hash with event counts and wall-clock rate")
+	statsFlag     = flag.String("stats", "", "append one JSON line of progress stats per boundary to this file")
+	stopAfter     = flag.Uint64("stop-after", 0, "halt gracefully at the Nth checkpoint boundary, as if signaled (deterministic testing hook; exits 130)")
 )
 
 func main() {
@@ -74,6 +87,28 @@ func main() {
 		cfg.Faults = genima.FaultMix(*faultsFlag, *seedFlag)
 	}
 
+	// SIGINT/SIGTERM request a graceful halt: the flag is polled at the
+	// next deterministic boundary of the controlled run, which writes a
+	// final checkpoint (when -checkpoint is set), flushes partial stats,
+	// and exits 128+sig. A second signal kills outright. Installed
+	// before the sequential reference run so an early signal is
+	// recorded, not fatal.
+	var sig atomic.Int32
+	controlled := *ckptFlag != "" || *restoreFlag != "" || *hashFlag || *statsFlag != "" || *stopAfter > 0
+	if controlled {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			s := <-ch
+			signal.Stop(ch)
+			n := syscall.SIGINT
+			if ss, ok := s.(syscall.Signal); ok {
+				n = ss
+			}
+			sig.Store(int32(n))
+		}()
+	}
+
 	seq, seqWS, err := genima.RunSequential(cfg, entry.App)
 	if err != nil {
 		fatal(err)
@@ -81,14 +116,21 @@ func main() {
 
 	var res *genima.Result
 	var ws *genima.Workspace
+	var traceHash string
+	var traceEvents uint64
+	interrupted := 0 // signal number once a graceful halt is requested
+	t0 := time.Now()
 	if *protoFlag == "hw" {
+		if controlled {
+			fatal(fmt.Errorf("-checkpoint/-restore/-trace-hash/-stats apply to SVM protocols, not -proto hw"))
+		}
 		res, ws, err = genima.RunHardware(cfg, entry.App)
 	} else {
 		proto, perr := parseProto(*protoFlag)
 		if perr != nil {
 			fatal(perr)
 		}
-		var tracer func(genima.TraceEvent)
+		var emit func(genima.TraceEvent)
 		if *traceFlag != "" {
 			f, ferr := os.Create(*traceFlag)
 			if ferr != nil {
@@ -97,16 +139,95 @@ func main() {
 			defer f.Close()
 			w := bufio.NewWriter(f)
 			defer w.Flush()
-			tracer = func(ev genima.TraceEvent) {
+			emit = func(ev genima.TraceEvent) {
 				fmt.Fprintf(w, "t=%dns src=%d dst=%d size=%d kind=%s fw=%v src_ns=%d lanai_ns=%d net_ns=%d dest_ns=%d\n",
 					ev.Time, ev.Src, ev.Dst, ev.Size, ev.Kind, ev.Firmware,
 					ev.StageTime[0], ev.StageTime[1], ev.StageTime[2], ev.StageTime[3])
 			}
 		}
-		res, ws, err = genima.RunTraced(cfg, proto, entry.App, tracer)
+		if !controlled {
+			res, ws, err = genima.RunTraced(cfg, proto, entry.App, emit)
+		} else {
+			opts := genima.CheckpointOptions{
+				Path:  *ckptFlag,
+				Every: *ckptEveryFlag,
+				App:   *appFlag,
+				Scale: *scaleFlag,
+			}
+			if emit != nil {
+				// On a restore, RunCheckpointed suppresses the replayed
+				// prefix, so the trace file holds post-cut packets only.
+				opts.OnTrace = func(_ uint64, ev genima.TraceEvent) { emit(ev) }
+			}
+			if *restoreFlag != "" {
+				st, lerr := genima.LoadCheckpoint(*restoreFlag)
+				if lerr != nil {
+					fatal(lerr)
+				}
+				opts.Restore = st
+			}
+			var boundaries uint64
+			opts.ShouldStop = func() bool {
+				if sig.Load() != 0 {
+					return true
+				}
+				if *stopAfter > 0 {
+					boundaries++
+					return boundaries >= *stopAfter
+				}
+				return false
+			}
+			if *statsFlag != "" {
+				sf, serr := os.OpenFile(*statsFlag, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+				if serr != nil {
+					fatal(serr)
+				}
+				defer sf.Close()
+				enc := json.NewEncoder(sf)
+				opts.OnBoundary = func(b *genima.Boundary) {
+					var ms runtime.MemStats
+					runtime.ReadMemStats(&ms)
+					enc.Encode(map[string]any{
+						"trace_events": b.TraceEvents, "sim_ns": int64(b.SimTime),
+						"events": b.Events, "wall_ms": time.Since(t0).Milliseconds(),
+						"heap_bytes": ms.HeapAlloc,
+					})
+				}
+			}
+			cr, cerr := genima.RunCheckpointed(cfg, proto, entry.App, opts)
+			err = cerr
+			if cerr == nil {
+				res, ws = cr.Res, cr.WS
+				traceHash, traceEvents = cr.TraceHash, cr.TraceEvents
+				if cr.Interrupted {
+					where := "no checkpoint file (-checkpoint not set)"
+					if *ckptFlag != "" {
+						where = "checkpoint saved to " + *ckptFlag
+					}
+					interrupted = int(sig.Load())
+					cause := fmt.Sprintf("signal %d", interrupted)
+					if interrupted == 0 {
+						// -stop-after halts mimic SIGINT, exit code included.
+						interrupted = int(syscall.SIGINT)
+						cause = fmt.Sprintf("-stop-after %d", *stopAfter)
+					}
+					fmt.Fprintf(os.Stderr, "genima-run: %s: halted at trace event %d; %s\n",
+						cause, cr.TraceEvents, where)
+				}
+			}
+		}
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if interrupted != 0 {
+		os.Exit(128 + interrupted)
+	}
+	wall := time.Since(t0)
+	if *hashFlag {
+		fmt.Printf("trace-hash=%s trace-events=%d events=%d wall=%v eps=%.0f\n",
+			traceHash, traceEvents, res.Events, wall.Round(time.Millisecond),
+			float64(res.Events)/wall.Seconds())
 	}
 	if *verifyFlag {
 		if err := genima.Validate(entry.App, ws, seqWS); err != nil {

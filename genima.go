@@ -128,6 +128,27 @@ func RunTraced(cfg Config, p Protocol, a App, fn func(TraceEvent)) (*Result, *Wo
 	return app.RunSVMTraced(cfg, p, a, fn)
 }
 
+// RunControl hooks a run's trace stream for checkpointing, streaming
+// stats, and graceful shutdown (see RunControlled).
+type RunControl = app.RunControl
+
+// Boundary is a consistent cut of a running simulation, handed to
+// RunControl hooks.
+type Boundary = app.Boundary
+
+// ErrInterrupted is the sentinel (match with errors.Is) wrapped into
+// RunControlled's error when a control hook halted the run early; the
+// partial Result is still returned alongside it.
+var ErrInterrupted = app.ErrInterrupted
+
+// RunControlled is RunTraced with full run control: an ordinal-aware
+// tracer, periodic boundary callbacks at deterministic cuts, a one-shot
+// verification cut, and graceful halt. It is the primitive under
+// checkpoint/restore, soak mode, and signal-safe shutdown.
+func RunControlled(cfg Config, p Protocol, a App, ctl *RunControl) (*Result, *Workspace, error) {
+	return app.RunSVMControlled(cfg, p, a, ctl)
+}
+
 // RunHardware executes a workload on the hardware-DSM model.
 func RunHardware(cfg Config, a App) (*Result, *Workspace, error) {
 	return app.RunHW(cfg, a)

@@ -3,7 +3,6 @@ package app
 import (
 	"fmt"
 	"strconv"
-	"sync/atomic"
 
 	"genima/internal/core"
 	"genima/internal/hwdsm"
@@ -77,95 +76,15 @@ func RunSVM(cfg topo.Config, kind core.Kind, a App) (*Result, *Workspace, error)
 }
 
 // RunSVMTraced is RunSVM with a packet tracer installed on the NI
-// firmware monitor: tracer receives every delivered packet.
+// firmware monitor: tracer receives every delivered packet. It is a
+// thin wrapper over RunSVMControlled (see control.go), which carries
+// the full run machinery.
 func RunSVMTraced(cfg topo.Config, kind core.Kind, a App, tracer func(nic.TraceEvent)) (*Result, *Workspace, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, nil, err
+	var ctl *RunControl
+	if tracer != nil {
+		ctl = &RunControl{OnTrace: func(_ uint64, ev nic.TraceEvent) { tracer(ev) }}
 	}
-	// Intra-run parallelism: with more than one worker and more than one
-	// node, the run is partitioned into shard-granular logical processes
-	// under a conservative PDES cluster (LPShards node shards plus the
-	// fabric LP; see Config.EffectiveLPShards). The serial path builds no
-	// cluster at all, so it is exactly the engine the goldens were
-	// recorded on. The wiring below is bipartite by construction — nodes
-	// talk to other nodes only through fabric links and switches
-	// (TransferCross/RouteCross in internal/network), and NI-local timers
-	// stay on their own LP — so the cluster may batch windows per class.
-	var cl *sim.Cluster
-	var eng *sim.Engine
-	if cfg.IntraRunWorkers > 1 && cfg.Nodes > 1 {
-		nodeLA, fabLA := cfg.Lookaheads()
-		cl = sim.NewCluster(cfg.Nodes, cfg.EffectiveLPShards(), cfg.IntraRunWorkers, nodeLA, fabLA)
-		cl.MarkBipartite()
-		eng = cl.Main()
-	} else {
-		eng = sim.NewEngine()
-	}
-	ws := NewWorkspace(&cfg)
-	a.Setup(ws)
-	sys := core.New(eng, &cfg, kind, ws.Space)
-	sys.Layer.Monitor().Tracer = tracer
-	sys.Start()
-
-	n := cfg.NumProcs()
-	ctxs := make([]*Ctx, n)
-	finish := make([]sim.Time, n)
-	var finished int32
-	mi := memIntensityOf(a)
-	for i := 0; i < n; i++ {
-		i := i
-		nd, cpu := i/cfg.ProcsPerNode, i%cfg.ProcsPerNode
-		be := NewSVMBackend(sys, nd, cpu)
-		ctxs[i] = NewCtx(i, n, nil, be, ws, &cfg, mi)
-		// Each processor goroutine lives on its node's logical process
-		// (LPNode is the engine itself in a serial run).
-		eng.LPNode(nd).Go(a.Name()+"-p"+strconv.Itoa(i), func(p *sim.Proc) {
-			ctxs[i].p = p
-			a.Run(ctxs[i])
-			ctxs[i].Barrier() // flush all diffs to the homes
-			finish[i] = p.Now()
-			atomic.AddInt32(&finished, 1)
-		})
-	}
-	if cl != nil {
-		cl.Run()
-	} else {
-		eng.RunUntilQuiet()
-	}
-	if int(finished) != n {
-		return nil, nil, fmt.Errorf("app %s on %v: %d/%d processors finished (protocol deadlock)", a.Name(), kind, finished, n)
-	}
-	res := collect(kind.String(), ctxs, finish)
-	res.Acct = sys.Accounting()
-	res.Monitor = sys.Layer.Monitor()
-	if cl != nil {
-		res.Events = cl.Events()
-	} else {
-		res.Events = eng.Events()
-	}
-	nis := sys.Layer.NIs()
-	frac := func(busy sim.Time) float64 {
-		if res.Elapsed == 0 {
-			return 0
-		}
-		return float64(busy) / float64(res.Elapsed)
-	}
-	for i, ni := range nis.NIs {
-		res.PostQueueStalls += ni.PostQueue.Blocked
-		res.PostQueueStallTime += ni.PostQueue.BlockedTime
-		res.PostQueueOverflows += ni.Overflows
-		res.Util.Firmware = max(res.Util.Firmware, frac(ni.Firmware.BusyTime))
-		res.Util.PCI = max(res.Util.PCI, frac(ni.PCI.BusyTime))
-		res.Util.Link = max(res.Util.Link,
-			frac(nis.Fabric.Out[i].Stats().BusyTime), frac(nis.Fabric.In[i].Stats().BusyTime))
-		res.Util.MaxBacklog = maxT(res.Util.MaxBacklog, ni.Firmware.MaxQueued)
-	}
-	for _, busy := range nis.Fabric.StageBusy() {
-		res.Util.Switch = max(res.Util.Switch, frac(busy))
-	}
-	res.Util.SwitchStage = nis.Fabric.StageBusy()
-	res.Faults = nis.FaultReport()
-	return res, ws, nil
+	return RunSVMControlled(cfg, kind, a, ctl)
 }
 
 func maxT(a, b sim.Time) sim.Time {

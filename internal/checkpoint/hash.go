@@ -1,0 +1,75 @@
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding"
+	"encoding/hex"
+	"fmt"
+	"hash"
+
+	"genima/internal/nic"
+	"genima/internal/sim"
+)
+
+// TraceHasher accumulates the canonical SHA-256 over a run's delivered-
+// packet trace — the same rendering trace_golden_test.go pins the
+// golden hashes with — and can snapshot/restore its midstate, which is
+// what lets a checkpoint resume the hash without replaying the prefix
+// bytes. The midstate snapshot uses the stdlib hash's binary marshaling
+// (stable within a format version; the checkpoint file version gates
+// compatibility).
+type TraceHasher struct {
+	h hash.Hash
+	n uint64
+}
+
+// NewTraceHasher returns an empty hasher.
+func NewTraceHasher() *TraceHasher {
+	return &TraceHasher{h: sha256.New()}
+}
+
+// Add folds one delivered packet, in delivery order.
+func (t *TraceHasher) Add(ev nic.TraceEvent) {
+	fmt.Fprintf(t.h, "%d|%d|%d|%d|%s|%v|%d|%d|%d|%d\n",
+		ev.Time, ev.Src, ev.Dst, ev.Size, ev.Kind, ev.Firmware,
+		ev.StageTime[0], ev.StageTime[1], ev.StageTime[2], ev.StageTime[3])
+	t.n++
+}
+
+// Count returns the number of events folded so far.
+func (t *TraceHasher) Count() uint64 { return t.n }
+
+// PrefixSum returns the hash of the events folded so far, without the
+// final trailer and without disturbing the accumulating state.
+func (t *TraceHasher) PrefixSum() []byte { return t.h.Sum(nil) }
+
+// Snapshot marshals the hash midstate for storage in a checkpoint.
+func (t *TraceHasher) Snapshot() ([]byte, error) {
+	m, ok := t.h.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: sha256 state is not marshalable")
+	}
+	return m.MarshalBinary()
+}
+
+// Restore replaces the hasher's state with a checkpointed midstate
+// covering n events.
+func (t *TraceHasher) Restore(state []byte, n uint64) error {
+	u, ok := t.h.(encoding.BinaryUnmarshaler)
+	if !ok {
+		return fmt.Errorf("checkpoint: sha256 state is not unmarshalable")
+	}
+	if err := u.UnmarshalBinary(state); err != nil {
+		return fmt.Errorf("checkpoint: restoring hash midstate: %w", err)
+	}
+	t.n = n
+	return nil
+}
+
+// Final appends the run trailer (final elapsed time and engine event
+// count, the golden-hash convention) and returns the hex digest. The
+// hasher must not be used afterwards.
+func (t *TraceHasher) Final(elapsed sim.Time, events uint64) string {
+	fmt.Fprintf(t.h, "elapsed=%d events=%d\n", elapsed, events)
+	return hex.EncodeToString(t.h.Sum(nil))
+}

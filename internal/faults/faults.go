@@ -185,6 +185,24 @@ func (p *Plan) JudgeIn(node int, now sim.Time) Verdict {
 	return v
 }
 
+// DigestInto folds every link's fault-stream cursor (the raw splitmix64
+// state, which advances one step per draw) and injection counters into
+// d. Two runs that judged the same packet sequence have identical
+// cursors, so the digest pins exactly how far each fault stream has
+// been consumed — the state a checkpoint restore must reproduce.
+func (p *Plan) DigestInto(d *sim.Digest) {
+	dir := func(links []linkState) {
+		d.U64(uint64(len(links)))
+		for i := range links {
+			ls := &links[i]
+			d.U64(uint64(ls.r))
+			ls.rep.DigestInto(d)
+		}
+	}
+	dir(p.out)
+	dir(p.in)
+}
+
 // AckEvery returns the configured cumulative-ack threshold with its
 // default applied.
 func (p *Plan) AckEvery() int {

@@ -1,0 +1,32 @@
+package memory
+
+import "genima/internal/sim"
+
+// DigestInto folds the pool's reuse state: the free-list depth and the
+// hit/miss counters. Buffer identities are not portable, but the depth
+// plus the deterministic LIFO discipline pin the reuse order.
+func (p *BufPool) DigestInto(d *sim.Digest) {
+	d.U64(uint64(p.size))
+	d.U64(uint64(len(p.free)))
+	d.U64(p.Hits)
+	d.U64(p.Allocs)
+}
+
+// DigestInto folds the node's materialized page copies and twins —
+// presence and full contents — plus the buffer pool state. Page data is
+// protocol state (diffs are computed from it), so a restore that
+// reproduced the event prefix must reproduce every byte.
+func (m *NodeMem) DigestInto(d *sim.Digest) {
+	d.U64(uint64(len(m.pages)))
+	for pg := range m.pages {
+		d.Bool(m.pages[pg] != nil)
+		if m.pages[pg] != nil {
+			d.Bytes(m.pages[pg])
+		}
+		d.Bool(m.twins[pg] != nil)
+		if m.twins[pg] != nil {
+			d.Bytes(m.twins[pg])
+		}
+	}
+	m.pool.DigestInto(d)
+}

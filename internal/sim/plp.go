@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -214,6 +215,24 @@ type Cluster struct {
 	workerWakes uint64 // worker-pool channel signals sent
 	maxBacklog  int    // largest uncommitted-entry backlog after a barrier
 
+	// Progress watchdog: a livelocked round loop (horizons capped by a
+	// held message whose parent never commits, e.g. under a buggy
+	// lookahead) would otherwise spin commit-only passes forever. The
+	// signature (nextOrd, pending, heldMin) changes on every productive
+	// round — parallel rounds either commit entries (nextOrd advances)
+	// or grow the backlog (pending), lone rounds advance nextOrd, and a
+	// useful commit-only pass commits or delivers something — so wdLimit
+	// consecutive rounds with an unchanged signature prove a livelock in
+	// this deterministic system, and the cluster fails loudly with
+	// per-LP diagnostics instead of hanging.
+	wdLimit   int // rounds without progress before tripping; <=0 disables
+	wdRounds  int
+	wdOrd     uint64
+	wdPending int
+	wdHeld    Time
+
+	stop bool // Stop was called: Run returns at the next round boundary
+
 	workerCh []chan struct{}
 	wg       sync.WaitGroup
 	widx     int32
@@ -249,7 +268,7 @@ func NewCluster(nodes, shards, workers int, nodeLA, fabricLA Time) *Cluster {
 	if workers < 1 {
 		workers = 1
 	}
-	cl := &Cluster{workers: workers, nextOrd: firstOrd, heldMin: horizonInf}
+	cl := &Cluster{workers: workers, nextOrd: firstOrd, heldMin: horizonInf, wdLimit: defaultWatchdogRounds}
 	cl.all = make([]*Engine, shards+1)
 	for i := range cl.all {
 		e := NewEngine()
@@ -274,6 +293,25 @@ func NewCluster(nodes, shards, workers int, nodeLA, fabricLA Time) *Cluster {
 	cl.peeks.a = make([]*Engine, 0, shards)
 	return cl
 }
+
+// defaultWatchdogRounds is the default progress-watchdog threshold.
+// The check is O(1) per round and productive rounds always reset it,
+// so the value only bounds how long a genuine livelock spins before
+// the diagnostic fires; it is far above any legitimate streak.
+const defaultWatchdogRounds = 100_000
+
+// SetWatchdog sets the progress-watchdog threshold: the number of
+// consecutive rounds without commit-floor/ordinal progress after which
+// Run panics with per-LP diagnostics. rounds <= 0 disables the
+// watchdog. The default is defaultWatchdogRounds.
+func (cl *Cluster) SetWatchdog(rounds int) { cl.wdLimit = rounds }
+
+// Stop makes Run return at the next round boundary (or at the end of
+// the current lone run). It must be called from simulation context on
+// the Run goroutine — an event handler, a deferred flush, or a barrier
+// callback — never from another OS thread. The cluster's state stays
+// consistent; the run simply does not finish.
+func (cl *Cluster) Stop() { cl.stop = true }
 
 // MarkBipartite asserts that during execution no shard LP ever sends
 // to another shard LP: all cross-LP traffic passes through the fabric
@@ -382,6 +420,11 @@ func (cl *Cluster) Run() {
 		cl.syncPeek(e)
 	}
 	for {
+		if cl.stop {
+			cl.shutdown()
+			return
+		}
+		cl.watchdogCheck()
 		fabNonEmpty := cl.fabric.events.len() > 0
 		nonEmpty := len(cl.peeks.a)
 		if fabNonEmpty {
@@ -432,6 +475,60 @@ func (cl *Cluster) Run() {
 		}
 		cl.barrier()
 	}
+}
+
+// watchdogCheck advances the progress watchdog by one round and trips
+// it when the signature has not moved for wdLimit consecutive rounds.
+func (cl *Cluster) watchdogCheck() {
+	if cl.wdLimit <= 0 {
+		return
+	}
+	if cl.nextOrd != cl.wdOrd || cl.pending != cl.wdPending || cl.heldMin != cl.wdHeld {
+		cl.wdOrd, cl.wdPending, cl.wdHeld = cl.nextOrd, cl.pending, cl.heldMin
+		cl.wdRounds = 0
+		return
+	}
+	cl.wdRounds++
+	if cl.wdRounds >= cl.wdLimit {
+		cl.watchdogTrip()
+	}
+}
+
+// watchdogTrip shuts the worker pool down and panics with a per-LP
+// dump: clocks, heap peeks, uncommitted log shapes, and held outbox
+// messages — everything needed to see which LP (and which held parent)
+// is pinning the horizon.
+func (cl *Cluster) watchdogTrip() {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: watchdog: no progress in %d rounds (nextOrd=%d pending=%d heldMin=%d)\n",
+		cl.wdRounds, cl.nextOrd, cl.pending, cl.heldMin)
+	hShard, hFab := cl.horizons()
+	fmt.Fprintf(&b, "  horizons: shard=%d fabric=%d\n", hShard, hFab)
+	for i, e := range cl.all {
+		name := fmt.Sprintf("shard LP %d", i)
+		if e == cl.fabric {
+			name = "fabric LP"
+		}
+		fmt.Fprintf(&b, "  %s: now=%d executed=%d heap=%d", name, e.now, e.nEvents, e.events.len())
+		if e.events.len() > 0 {
+			p := e.events.peek()
+			fmt.Fprintf(&b, " peek(at=%d key=%#x)", p.at, p.seq)
+		}
+		fmt.Fprintf(&b, " logged=%d logStart=%d held=%d", len(e.roundLog), e.logStart, len(e.outbox))
+		if len(e.outbox) > 0 {
+			earliest := 0
+			for j := 1; j < len(e.outbox); j++ {
+				if e.outbox[j].at < e.outbox[earliest].at {
+					earliest = j
+				}
+			}
+			m := &e.outbox[earliest]
+			fmt.Fprintf(&b, " heldEarliest(at=%d key=%#x)", m.at, m.key)
+		}
+		b.WriteByte('\n')
+	}
+	cl.shutdown()
+	panic(b.String())
 }
 
 // shutdown releases the worker pool.

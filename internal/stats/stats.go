@@ -192,6 +192,45 @@ func (r *FaultReport) MeanRecovery() sim.Time {
 	return r.TotalRecovery / sim.Time(r.Recovered)
 }
 
+// DigestInto folds every breakdown category into d.
+func (b *Breakdown) DigestInto(d *sim.Digest) {
+	for _, v := range b.T {
+		d.I64(v)
+	}
+}
+
+// DigestInto folds the accounting counters into d.
+func (a *SVMAccounting) DigestInto(d *sim.Digest) {
+	d.I64(a.BarrierWait)
+	d.I64(a.BarrierProto)
+	d.I64(a.Mprotect)
+	d.U64(a.MprotectOps)
+	d.I64(a.DiffCompute)
+	d.U64(a.DiffBytes)
+	d.U64(a.PageFetches)
+	d.U64(a.FetchRetries)
+	d.U64(a.LockOps)
+	d.U64(a.Interrupts)
+}
+
+// DigestInto folds the fault counters into d.
+func (r *FaultReport) DigestInto(d *sim.Digest) {
+	d.U64(r.DropsInjected)
+	d.U64(r.DupsInjected)
+	d.U64(r.DelaysInjected)
+	d.U64(r.CorruptsInjected)
+	d.U64(r.DownDrops)
+	d.U64(r.RetxSent)
+	d.U64(r.DupsSuppressed)
+	d.U64(r.OOODropped)
+	d.U64(r.CorruptDropped)
+	d.U64(r.AcksSent)
+	d.U64(r.PiggybackAcks)
+	d.U64(r.Recovered)
+	d.I64(r.TotalRecovery)
+	d.I64(r.MaxRecovery)
+}
+
 // Seconds renders a virtual time as seconds.
 func Seconds(t sim.Time) float64 { return float64(t) / float64(sim.Second) }
 

@@ -1,0 +1,131 @@
+package genima_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	genima "genima"
+)
+
+// A soak campaign halted mid-way and resumed from its checkpoint cursor
+// must end with the same verification chain as an uninterrupted one,
+// and its JSONL stats log must hold exactly one record per iteration.
+func TestSoakResumeMatchesUninterrupted(t *testing.T) {
+	cfg := genima.DefaultConfig()
+	base := genima.SoakOptions{Iters: 5, FaultRate: 0.01, FaultSeed: 3}
+
+	full, err := genima.Soak(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Interrupted || full.Iters != 5 {
+		t.Fatalf("uninterrupted campaign: %+v", full)
+	}
+
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "soak.ckpt")
+	stats := filepath.Join(dir, "soak.jsonl")
+
+	first := base
+	first.CheckpointPath, first.StatsPath, first.StopAfter = ck, stats, 2
+	r1, err := genima.Soak(cfg, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Interrupted || r1.Iters != 2 {
+		t.Fatalf("stop-after-2 campaign: %+v", r1)
+	}
+	if r1.Chain == full.Chain {
+		t.Fatal("partial chain equals full chain")
+	}
+
+	st, err := genima.LoadCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SoakIter != 2 {
+		t.Fatalf("checkpoint cursor at iteration %d, want 2", st.SoakIter)
+	}
+	second := base
+	second.CheckpointPath, second.StatsPath, second.Restore = ck, stats, st
+	r2, err := genima.Soak(cfg, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Interrupted || r2.Iters != 5 {
+		t.Fatalf("resumed campaign: %+v", r2)
+	}
+	if r2.Chain != full.Chain {
+		t.Errorf("resumed chain %s != uninterrupted %s", r2.Chain, full.Chain)
+	}
+	if r2.Events != full.Events {
+		t.Errorf("resumed events %d != uninterrupted %d", r2.Events, full.Events)
+	}
+
+	// The appended stats log covers all 5 iterations exactly once, in
+	// order, each line valid JSON.
+	f, err := os.Open(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var iters []uint64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec genima.SoakRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad stats line %q: %v", sc.Text(), err)
+		}
+		iters = append(iters, rec.Iter)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) != 5 {
+		t.Fatalf("stats log has %d records, want 5", len(iters))
+	}
+	for i, it := range iters {
+		if it != uint64(i) {
+			t.Fatalf("stats record %d has iter %d", i, it)
+		}
+	}
+}
+
+// Restoring a soak checkpoint under different campaign parameters must
+// be rejected: a silently diverging chain would be worse than an error.
+func TestSoakRestoreRejectsParameterMismatch(t *testing.T) {
+	cfg := genima.DefaultConfig()
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "soak.ckpt")
+	opts := genima.SoakOptions{Iters: 3, FaultRate: 0.01, FaultSeed: 3, CheckpointPath: ck, StopAfter: 1}
+	if _, err := genima.Soak(cfg, opts); err != nil {
+		t.Fatal(err)
+	}
+	st, err := genima.LoadCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := opts
+	bad.Restore = st
+	bad.FaultRate = 0.05
+	if _, err := genima.Soak(cfg, bad); err == nil {
+		t.Error("fault-rate change accepted on restore")
+	}
+	badCfg := cfg
+	badCfg.Nodes = 8
+	good := opts
+	good.Restore = st
+	if _, err := genima.Soak(badCfg, good); err == nil {
+		t.Error("config change accepted on restore")
+	}
+}
+
+// The campaign needs at least one bound, or it would run forever.
+func TestSoakRequiresBound(t *testing.T) {
+	if _, err := genima.Soak(genima.DefaultConfig(), genima.SoakOptions{}); err == nil {
+		t.Fatal("unbounded soak accepted")
+	}
+}
