@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-intrarun smoke-faults smoke-scale smoke-soak bench-smoke bench-json bench-mem bench-guard
+.PHONY: check build vet test race race-intrarun smoke-faults smoke-scale smoke-soak smoke-serve bench-smoke bench-json bench-mem bench-guard
 
-check: build vet test race race-intrarun smoke-faults smoke-scale smoke-soak
+check: build vet test race race-intrarun smoke-faults smoke-scale smoke-soak smoke-serve
 
 build:
 	$(GO) build ./...
@@ -99,6 +99,30 @@ smoke-soak:
 	cmp $(SOAKTMP)/chain.full $(SOAKTMP)/chain.resumed
 	test -s $(SOAKTMP)/soak.jsonl
 	rm -rf $(SOAKTMP)
+
+# smoke-serve exercises the svmkv open-loop serving workload end to
+# end at test scale on two protocol rungs (interrupt-driven Base and
+# synchronous-NI GeNIMA, the latter under 1% faults), each validated
+# against the sequential reference, asserting the canonical trace hash
+# is byte-identical between serial (-jrun 1) and parallel (-jrun 4)
+# simulation — the core determinism invariant on the serving path.
+SERVETMP := /tmp/genima-smoke-serve
+smoke-serve:
+	rm -rf $(SERVETMP) && mkdir -p $(SERVETMP)
+	$(GO) build -o $(SERVETMP)/genima-run ./cmd/genima-run
+	$(SERVETMP)/genima-run -app svmkv -scale test -proto Base -jrun 1 \
+		-trace-hash | grep -o 'trace-hash=[0-9a-f]*' > $(SERVETMP)/base.j1
+	$(SERVETMP)/genima-run -app svmkv -scale test -proto Base -jrun 4 \
+		-trace-hash | grep -o 'trace-hash=[0-9a-f]*' > $(SERVETMP)/base.j4
+	cmp $(SERVETMP)/base.j1 $(SERVETMP)/base.j4
+	$(SERVETMP)/genima-run -app svmkv -scale test -proto GeNIMA -jrun 1 \
+		-faults 0.01 -fault-seed 42 -trace-hash \
+		| grep -o 'trace-hash=[0-9a-f]*' > $(SERVETMP)/genima.j1
+	$(SERVETMP)/genima-run -app svmkv -scale test -proto GeNIMA -jrun 4 \
+		-faults 0.01 -fault-seed 42 -trace-hash \
+		| grep -o 'trace-hash=[0-9a-f]*' > $(SERVETMP)/genima.j4
+	cmp $(SERVETMP)/genima.j1 $(SERVETMP)/genima.j4
+	rm -rf $(SERVETMP)
 
 # bench-smoke runs every micro- and suite-benchmark once — a fast "do
 # the benchmarks still build and run" gate, not a measurement. The

@@ -34,7 +34,7 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "comma-separated experiments: fig1,fig2,fig3,fig4,table1,table2,table3,table4,table5 or all; plus scaling, faultsweep, scalesweep and soak (not in all)")
+	expFlag    = flag.String("exp", "all", "comma-separated experiments: fig1,fig2,fig3,fig4,table1,table2,table3,table4,table5 or all; plus scaling, faultsweep, scalesweep, serve and soak (not in all)")
 	scaleFlag  = flag.String("scale", "bench", "problem scale: test or bench")
 	verifyFlag = flag.Bool("verify", false, "validate every run against the sequential reference")
 	nodesFlag  = flag.Int("nodes", 4, "SMP nodes for the main suite (the paper uses 4)")
@@ -61,6 +61,41 @@ var (
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "genima-bench:", err)
 	os.Exit(1)
+}
+
+// validExperiments lists every -exp name, in help order. "all" selects
+// the paper figures/tables; the post-paper experiments (scaling,
+// faultsweep, scalesweep, serve, soak) are opt-in by name.
+var validExperiments = []string{
+	"all", "fig1", "fig2", "fig3", "fig4",
+	"table1", "table2", "table3", "table4", "table5",
+	"scaling", "faultsweep", "scalesweep", "serve", "soak",
+}
+
+// parseExperiments splits a -exp value and rejects unknown names, so a
+// typo fails loudly instead of silently running nothing.
+func parseExperiments(s string) (map[string]bool, error) {
+	valid := map[string]bool{}
+	for _, v := range validExperiments {
+		valid[v] = true
+	}
+	want := map[string]bool{}
+	for _, e := range strings.Split(s, ",") {
+		name := strings.TrimSpace(e)
+		if name == "" {
+			continue
+		}
+		if !valid[name] {
+			return nil, fmt.Errorf("unknown experiment %q; valid experiments: %s",
+				name, strings.Join(validExperiments, ", "))
+		}
+		want[name] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("no experiments selected; valid experiments: %s",
+			strings.Join(validExperiments, ", "))
+	}
+	return want, nil
 }
 
 // benchSummary is the BENCH_sim.json schema: wall-clock evidence for the
@@ -118,6 +153,14 @@ type benchSummary struct {
 	EventsPerSecP512 *float64 `json:"events_per_sec_p512"`
 	IntraSpeedupP128 *float64 `json:"intrarun_speedup_p128"`
 	IntraSpeedupP512 *float64 `json:"intrarun_speedup_p512"`
+	// Serving-workload point: the svmkv open-loop KV server at registry
+	// defaults under GeNIMA, clean links. Both are virtual-time model
+	// outputs (completed requests per simulated second; p99 request
+	// latency in simulated ns) — exact and deterministic like the
+	// barrier costs, so the guard gates them direction-aware: throughput
+	// dropping or p99 rising >25% is the regression.
+	ServeReqsPerSec *float64 `json:"serve_reqs_per_sec"`
+	ServeP99Ns      *float64 `json:"serve_p99_ns"`
 	// Note lists measurement caveats, comma-separated, e.g.
 	// "parallel_skipped_single_cpu" or "intrarun_skipped_single_cpu"
 	// when the box cannot run a meaningful parallel pass.
@@ -172,6 +215,22 @@ func timeIntraRunEPS(scale genima.Scale, workers int) float64 {
 		}
 	}
 	return best
+}
+
+// timeServe runs the svmkv serving workload once at registry defaults
+// under GeNIMA with clean links and returns its virtual-time throughput
+// (completed requests per simulated second) and p99 request latency
+// (simulated ns). Exact model outputs: identical on every box.
+func timeServe(scale genima.Scale) (reqsPerSec, p99Ns float64) {
+	entry, ok := apps.ByName(scale, "svmkv")
+	if !ok {
+		fatal(fmt.Errorf("svmkv missing"))
+	}
+	res, _, err := genima.Run(genima.DefaultConfig(), genima.GeNIMA, entry.App)
+	if err != nil {
+		fatal(err)
+	}
+	return res.Latency.Throughput(res.Elapsed), float64(res.Latency.Summary().P99)
 }
 
 // scalePoint describes one PDES scaling point (see the benchSummary
@@ -285,6 +344,7 @@ func runBenchJSON(path string, scale genima.Scale, scaleName string, workers int
 	}
 	barrier32 := timeBarrierNs(scale, 8, *procsFlag, genima.TopoXbar, 8, false)
 	barrier128 := timeBarrierNs(scale, 32, *procsFlag, genima.TopoClos2, 8, true)
+	serveTput, serveP99 := timeServe(scale)
 	// PDES scaling points: serial throughput is measurable anywhere; the
 	// intra-run speedups need real parallelism.
 	epsP128 := timeScaleEPS(scale, scaleP128, 1, 0)
@@ -320,6 +380,8 @@ func runBenchJSON(path string, scale genima.Scale, scaleName string, workers int
 		EventsPerSecP512:   &epsP512,
 		IntraSpeedupP128:   speedupP128P,
 		IntraSpeedupP512:   speedupP512P,
+		ServeReqsPerSec:    &serveTput,
+		ServeP99Ns:         &serveP99,
 		Note:               strings.Join(notes, ","),
 	}
 	data, err := json.MarshalIndent(sum, "", "  ")
@@ -503,6 +565,38 @@ func runBenchGuard(path string) {
 		}
 	}
 
+	// Serving-point gates: virtual-time model outputs like the barrier
+	// costs, so direction-aware — serve_reqs_per_sec is gated downward
+	// (a throughput drop is the regression), serve_p99_ns upward (a tail
+	// increase is the regression). Null in the committed file skips the
+	// gate per the existing discipline.
+	if (committed.ServeReqsPerSec == nil || *committed.ServeReqsPerSec <= 0) &&
+		(committed.ServeP99Ns == nil || *committed.ServeP99Ns <= 0) {
+		fmt.Fprintln(os.Stderr, "bench-guard: serve checks skipped (no committed baseline)")
+	} else {
+		curTput, curP99 := timeServe(scale)
+		if committed.ServeReqsPerSec != nil && *committed.ServeReqsPerSec > 0 {
+			tratio := curTput / *committed.ServeReqsPerSec
+			if !*quietFlag || tratio < 0.75 {
+				fmt.Fprintf(os.Stderr, "bench-guard: serve_reqs_per_sec %.0f vs committed %.0f (%.0f%%)\n",
+					curTput, *committed.ServeReqsPerSec, 100*tratio)
+			}
+			if tratio < 0.75 {
+				fatal(fmt.Errorf("serve_reqs_per_sec regressed >25%% against %s", path))
+			}
+		}
+		if committed.ServeP99Ns != nil && *committed.ServeP99Ns > 0 {
+			pratio := curP99 / *committed.ServeP99Ns
+			if !*quietFlag || pratio > 1.25 {
+				fmt.Fprintf(os.Stderr, "bench-guard: serve_p99_ns %.0f vs committed %.0f (%.0f%%)\n",
+					curP99, *committed.ServeP99Ns, 100*pratio)
+			}
+			if pratio > 1.25 {
+				fatal(fmt.Errorf("serve_p99_ns regressed >25%% against %s", path))
+			}
+		}
+	}
+
 	// PDES scaling-point gates. Serial throughput at 128/512 nodes is
 	// wall-clock but measurable on any box: skip only when the committed
 	// file predates the field (null), fail on a >25% regression. The
@@ -640,9 +734,9 @@ func main() {
 		return
 	}
 
-	want := map[string]bool{}
-	for _, e := range strings.Split(*expFlag, ",") {
-		want[strings.TrimSpace(e)] = true
+	want, err := parseExperiments(*expFlag)
+	if err != nil {
+		fatal(err)
 	}
 	if want["soak"] {
 		runSoak(scaleName)
@@ -726,6 +820,13 @@ func main() {
 	}
 	if want["scalesweep"] {
 		d, err := genima.ScaleSweep(scale, *seedFlag, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(d)
+	}
+	if want["serve"] {
+		d, err := genima.Serve(scale, *seedFlag, progress)
 		if err != nil {
 			fatal(err)
 		}

@@ -54,6 +54,7 @@ var (
 	restoreFlag   = flag.String("restore", "", "resume from this checkpoint file (deterministic replay to the cut, then continue)")
 	hashFlag      = flag.Bool("trace-hash", false, "print the canonical SHA-256 trace hash with event counts and wall-clock rate")
 	statsFlag     = flag.String("stats", "", "append one JSON line of progress stats per boundary to this file")
+	jsonFlag      = flag.Bool("json", false, "emit the full result as one JSON document on stdout instead of the human-readable report")
 	stopAfter     = flag.Uint64("stop-after", 0, "halt gracefully at the Nth checkpoint boundary, as if signaled (deterministic testing hook; exits 130)")
 )
 
@@ -224,7 +225,7 @@ func main() {
 		os.Exit(128 + interrupted)
 	}
 	wall := time.Since(t0)
-	if *hashFlag {
+	if *hashFlag && !*jsonFlag {
 		fmt.Printf("trace-hash=%s trace-events=%d events=%d wall=%v eps=%.0f\n",
 			traceHash, traceEvents, res.Events, wall.Round(time.Millisecond),
 			float64(res.Events)/wall.Seconds())
@@ -233,7 +234,33 @@ func main() {
 		if err := genima.Validate(entry.App, ws, seqWS); err != nil {
 			fatal(fmt.Errorf("validation FAILED: %w", err))
 		}
-		fmt.Println("validation: output matches the sequential reference")
+		if !*jsonFlag {
+			fmt.Println("validation: output matches the sequential reference")
+		}
+	}
+
+	if *jsonFlag {
+		doc := runJSON{
+			App:          *appFlag,
+			Protocol:     *protoFlag,
+			Scale:        *scaleFlag,
+			Nodes:        cfg.Nodes,
+			ProcsPerNode: cfg.ProcsPerNode,
+			Validated:    *verifyFlag,
+			SeqElapsedNs: int64(seq.Elapsed),
+			Speedup:      genima.Speedup(seq, res),
+			Result:       genima.NewResultJSON(res),
+		}
+		if *hashFlag {
+			doc.TraceHash = traceHash
+			doc.TraceEvents = traceEvents
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	fmt.Printf("%s (%s) on %s, %d nodes x %d procs\n",
@@ -255,6 +282,11 @@ func main() {
 			a.PageFetches, a.FetchRetries, a.LockOps, a.Interrupts)
 		fmt.Printf("  diff bytes %d, mprotect calls %d (%.3f s)\n",
 			a.DiffBytes, a.MprotectOps, stats.Seconds(a.Mprotect))
+	}
+	if res.Latency.Count() > 0 {
+		fmt.Println("\nRequest latency (open-loop serving, virtual time):")
+		fmt.Printf("  %s\n  throughput %.2f kreq/s\n",
+			res.Latency.Summary(), res.Latency.Throughput(res.Elapsed)/1e3)
 	}
 	if res.Monitor != nil {
 		u := res.Util
@@ -290,6 +322,22 @@ func main() {
 			fmt.Printf("  %-14s %8d pkts %10d bytes\n", k.Kind, k.Packets, k.Bytes)
 		}
 	}
+}
+
+// runJSON is the `-json` document: run metadata wrapping the full
+// ResultJSON view (see genima.ResultJSON for field semantics).
+type runJSON struct {
+	App          string             `json:"app"`
+	Protocol     string             `json:"protocol"`
+	Scale        string             `json:"scale"`
+	Nodes        int                `json:"nodes"`
+	ProcsPerNode int                `json:"procs_per_node"`
+	Validated    bool               `json:"validated"`
+	SeqElapsedNs int64              `json:"seq_elapsed_ns"`
+	Speedup      float64            `json:"speedup"`
+	TraceHash    string             `json:"trace_hash,omitempty"`
+	TraceEvents  uint64             `json:"trace_events,omitempty"`
+	Result       *genima.ResultJSON `json:"result"`
 }
 
 func parseProto(s string) (genima.Protocol, error) {

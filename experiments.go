@@ -6,7 +6,9 @@ import (
 
 	"genima/internal/app"
 	"genima/internal/apps"
+	"genima/internal/apps/svmkv"
 	"genima/internal/nic"
+	"genima/internal/sim"
 	"genima/internal/stats"
 )
 
@@ -719,6 +721,127 @@ func (d *ScaleSweepData) String() string {
 	}
 	return fmt.Sprintf("Scale sweep: mean barrier time (us) on clos2 radix %d, 1 proc/node, 1%% faults, %d rounds\n%s",
 		d.Radix, d.Rounds, t.String())
+}
+
+// --- Serving sweep: throughput and tail latency of the svmkv
+// open-loop KV server, protocol × load level × fault rate (new
+// experiment, beyond the paper: the ladder judged on p50/p99/p999
+// request tails under production-style load and packet loss instead of
+// one batch speedup number) ---
+
+// ServeLoadLevels names the sweep's offered-load points as multipliers
+// on the svmkv default mean interarrival gap: "moderate" (2.5× the
+// gap) sits below every rung's drain rate, so tails reflect service
+// and burst absorption; "heavy" (the default gap) offers more than the
+// fastest rung drains, so tails reflect open-loop overload queueing.
+func ServeLoadLevels() []ServeLoad {
+	return []ServeLoad{{"moderate", 2.5}, {"heavy", 1.0}}
+}
+
+// ServeLoad is one offered-load point.
+type ServeLoad struct {
+	Name string
+	// GapScale multiplies Params.MeanGapNs (larger gap = lighter load).
+	GapScale float64
+}
+
+// ServeFaultRates is the sweep's fault ladder: clean links and the 1%
+// mixed plan (drops + dups + delays + corruption per FaultMix).
+func ServeFaultRates() []float64 { return []float64{0, 0.01} }
+
+// ServeCell is one (protocol, load, fault-rate) measurement.
+type ServeCell struct {
+	// ReqsPerSec is completed requests per simulated second.
+	ReqsPerSec float64
+	Lat        stats.LatencySummary
+}
+
+// ServeData holds the serving sweep. Cells is indexed
+// [protocol][load][fault-rate], aligned with Protocols/Loads/Rates.
+// Every run is validated byte-exact against the sequential reference,
+// so a cell's presence certifies the server computed correct results
+// under that protocol, load, and fault plan.
+type ServeData struct {
+	Seed      uint64
+	Scale     Scale
+	Params    svmkv.Params // base workload (MeanGapNs scaled per load)
+	Protocols []Protocol
+	Loads     []ServeLoad
+	Rates     []float64
+	Cells     map[Protocol][][]ServeCell
+}
+
+// Serve runs the svmkv serving workload across the full protocol
+// ladder at each load level and fault rate, collecting throughput and
+// latency tails from the merged per-processor histograms.
+func Serve(scale Scale, seed uint64, progress func(string)) (*ServeData, error) {
+	base := svmkv.DefaultParams(scale == BenchScale)
+	base.Seed = seed
+	d := &ServeData{
+		Seed:      seed,
+		Scale:     scale,
+		Params:    base,
+		Protocols: Protocols(),
+		Loads:     ServeLoadLevels(),
+		Rates:     ServeFaultRates(),
+		Cells:     map[Protocol][][]ServeCell{},
+	}
+	for li, load := range d.Loads {
+		p := base
+		p.MeanGapNs = base.MeanGapNs * load.GapScale
+		a := svmkv.New(p)
+		_, seqWS, err := app.RunSeq(DefaultConfig(), a)
+		if err != nil {
+			return nil, fmt.Errorf("serve %s: sequential reference: %w", load.Name, err)
+		}
+		for _, k := range d.Protocols {
+			if len(d.Cells[k]) <= li {
+				d.Cells[k] = append(d.Cells[k], make([]ServeCell, len(d.Rates)))
+			}
+			for ri, rate := range d.Rates {
+				cfg := DefaultConfig()
+				if rate > 0 {
+					cfg.Faults = FaultMix(rate, seed)
+				}
+				if progress != nil {
+					progress(fmt.Sprintf("serve: %v, %s load, %.1f%% faults", k, load.Name, 100*rate))
+				}
+				res, ws, err := app.RunSVM(cfg, k, a)
+				if err != nil {
+					return nil, fmt.Errorf("serve %v/%s/%.1f%%: %w", k, load.Name, 100*rate, err)
+				}
+				if err := app.Validate(a, ws, seqWS); err != nil {
+					return nil, fmt.Errorf("serve %v/%s/%.1f%%: validation failed: %w", k, load.Name, 100*rate, err)
+				}
+				d.Cells[k][li][ri] = ServeCell{
+					ReqsPerSec: res.Latency.Throughput(res.Elapsed),
+					Lat:        res.Latency.Summary(),
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// Cell returns the measurement for (protocol, load index, rate index).
+func (d *ServeData) Cell(k Protocol, load, rate int) ServeCell { return d.Cells[k][load][rate] }
+
+// String renders the sweep as the protocol × load × fault-rate table.
+func (d *ServeData) String() string {
+	t := stats.NewTable("Protocol", "Load", "Faults", "kreq/s", "p50 us", "p90 us", "p99 us", "p999 us", "max us")
+	us := func(v sim.Time) float64 { return float64(v) / 1000 }
+	for _, k := range d.Protocols {
+		for li, load := range d.Loads {
+			for ri, rate := range d.Rates {
+				c := d.Cells[k][li][ri]
+				t.Row(k.String(), load.Name, fmt.Sprintf("%.0f%%", 100*rate),
+					c.ReqsPerSec/1000, us(c.Lat.P50), us(c.Lat.P90), us(c.Lat.P99),
+					us(c.Lat.P999), us(c.Lat.Max))
+			}
+		}
+	}
+	return fmt.Sprintf("Serving sweep: svmkv open-loop KV server (%d reqs, %d shards, zipf %.2f, seed %d; all runs validated)\n%s",
+		d.Params.Requests, d.Params.Shards, d.Params.Zipf, d.Seed, t.String())
 }
 
 // String renders the sweep as a degradation table.

@@ -27,6 +27,10 @@ type Ctx struct {
 	// BarrierProto accumulates the protocol-processing share of this
 	// processor's barrier time (node leaders only), for Table 2.
 	BarrierProto sim.Time
+	// Latency collects per-request virtual-time latencies for serving
+	// workloads (svmkv); batch apps leave it empty. Per-processor
+	// recorders are merged into Result.Latency after the run.
+	Latency stats.LatencyRecorder
 }
 
 // ID returns this processor's global index in [0, NProc).
@@ -172,8 +176,15 @@ func (c *Ctx) SetI64(r memory.Region, i int, v int64) {
 }
 
 // Sleep advances this processor's clock without attributing the time to
-// any work category (test scaffolding).
+// any work category (open-loop idle waits and test scaffolding).
 func (c *Ctx) Sleep(d sim.Time) { c.p.Sleep(d) }
+
+// Now returns this processor's virtual clock.
+func (c *Ctx) Now() sim.Time { return c.p.Now() }
+
+// RecordLatency adds one request's enqueue→completion virtual time to
+// this processor's latency histogram.
+func (c *Ctx) RecordLatency(d sim.Time) { c.Latency.Record(d) }
 
 // --- little-endian scalar encoding over page bytes ---
 

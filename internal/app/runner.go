@@ -39,6 +39,9 @@ type Result struct {
 	Faults stats.FaultReport
 	// Util summarizes communication-substrate occupancy.
 	Util Utilization
+	// Latency merges the per-processor request-latency histograms of
+	// serving workloads (empty for batch apps).
+	Latency stats.LatencyRecorder
 }
 
 // Utilization reports busy fractions of the communication substrate
@@ -161,6 +164,7 @@ func collect(label string, ctxs []*Ctx, finish []sim.Time) *Result {
 	for i, c := range ctxs {
 		res.Breakdowns = append(res.Breakdowns, c.Breakdown)
 		res.BarrierProto += c.BarrierProto
+		res.Latency.Merge(&c.Latency)
 		if finish[i] > res.Elapsed {
 			res.Elapsed = finish[i]
 		}

@@ -15,6 +15,7 @@ import (
 	"genima/internal/apps/ocean"
 	"genima/internal/apps/radix"
 	"genima/internal/apps/raytrace"
+	"genima/internal/apps/svmkv"
 	"genima/internal/apps/volrend"
 	"genima/internal/apps/waterns"
 	"genima/internal/apps/watersp"
@@ -74,9 +75,10 @@ func Suite(s Scale) []Entry {
 }
 
 // ByName returns the suite entry with the given app name. It also
-// resolves the synthetic "barrierbench" microbenchmark used by the
-// scalesweep experiment, which Suite/Names deliberately omit (it is
-// not one of the paper's workloads).
+// resolves the non-paper workloads that Suite/Names deliberately omit:
+// the synthetic "barrierbench" microbenchmark (scalesweep experiment)
+// and the "svmkv" request-serving workload (serve experiment, soak
+// rotation).
 func ByName(s Scale, name string) (Entry, bool) {
 	if name == "barrierbench" {
 		r := 8
@@ -84,6 +86,10 @@ func ByName(s Scale, name string) (Entry, bool) {
 			r = 16
 		}
 		return Entry{barrierbench.New(r), "Barrier-bench", "n/a", "synthetic"}, true
+	}
+	if name == "svmkv" {
+		p := svmkv.DefaultParams(s == Bench)
+		return Entry{svmkv.New(p), "SVM-KV", "n/a", "open-loop KV serving"}, true
 	}
 	for _, e := range Suite(s) {
 		if e.App.Name() == name {

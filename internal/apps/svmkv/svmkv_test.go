@@ -1,0 +1,125 @@
+package svmkv
+
+import (
+	"testing"
+)
+
+// TestScheduleDeterministic: the request schedule is a pure function of
+// Params — two instances agree entry-for-entry.
+func TestScheduleDeterministic(t *testing.T) {
+	p := DefaultParams(false)
+	a, b := New(p), New(p)
+	if len(a.sched) != len(b.sched) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a.sched), len(b.sched))
+	}
+	for i := range a.sched {
+		if a.sched[i] != b.sched[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a.sched[i], b.sched[i])
+		}
+	}
+}
+
+// TestScheduleSeedSensitive: changing the seed changes the schedule.
+func TestScheduleSeedSensitive(t *testing.T) {
+	p := DefaultParams(false)
+	a := New(p)
+	p.Seed++
+	b := New(p)
+	same := true
+	for i := range a.sched {
+		if a.sched[i] != b.sched[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestArrivalsMonotone: arrival times strictly increase with the global
+// request index — the property the in-order per-shard service discipline
+// and the open-loop latency definition both rest on.
+func TestArrivalsMonotone(t *testing.T) {
+	a := New(DefaultParams(false))
+	for i := 1; i < len(a.sched); i++ {
+		if a.sched[i].arr <= a.sched[i-1].arr {
+			t.Fatalf("arrival %d (%d) not after arrival %d (%d)",
+				i, a.sched[i].arr, i-1, a.sched[i-1].arr)
+		}
+	}
+}
+
+// TestZipfSkew: with skew ~1, the hottest key must draw far more than
+// the uniform share, and every key index must be in range.
+func TestZipfSkew(t *testing.T) {
+	p := DefaultParams(false)
+	a := New(p)
+	counts := make([]int, p.Keys)
+	for _, r := range a.sched {
+		if r.key < 0 || int(r.key) >= p.Keys {
+			t.Fatalf("key %d out of range [0, %d)", r.key, p.Keys)
+		}
+		counts[r.key]++
+	}
+	uniform := len(a.sched) / p.Keys
+	if counts[0] < 4*uniform {
+		t.Fatalf("hottest key drew %d of %d requests (uniform share %d): no Zipf skew",
+			counts[0], len(a.sched), uniform)
+	}
+}
+
+// TestOpMixRoughlyHolds: the op mix matches the configured fractions
+// within a loose statistical margin.
+func TestOpMixRoughlyHolds(t *testing.T) {
+	p := DefaultParams(true) // more requests, tighter ratio
+	a := New(p)
+	var puts, incrs int
+	for _, r := range a.sched {
+		switch r.op {
+		case Put:
+			puts++
+		case Incr:
+			incrs++
+		}
+	}
+	n := float64(len(a.sched))
+	if f := float64(puts) / n; f < p.PutFrac*0.8 || f > p.PutFrac*1.2 {
+		t.Fatalf("PUT fraction %.3f, configured %.3f", f, p.PutFrac)
+	}
+	if f := float64(incrs) / n; f < p.IncrFrac*0.8 || f > p.IncrFrac*1.2 {
+		t.Fatalf("INCR fraction %.3f, configured %.3f", f, p.IncrFrac)
+	}
+}
+
+// TestEpochPartition: epochs partition [0, Requests) without gaps or
+// overlap.
+func TestEpochPartition(t *testing.T) {
+	p := DefaultParams(false)
+	a := New(p)
+	if a.epochStart[0] != 0 || a.epochStart[p.Epochs] != p.Requests {
+		t.Fatalf("epoch bounds %v do not cover [0, %d)", a.epochStart, p.Requests)
+	}
+	for e := 1; e <= p.Epochs; e++ {
+		if a.epochStart[e] < a.epochStart[e-1] {
+			t.Fatalf("epoch starts not monotone: %v", a.epochStart)
+		}
+	}
+}
+
+func TestBadParamsPanic(t *testing.T) {
+	for name, p := range map[string]Params{
+		"zero-shards": {Keys: 1, Requests: 1, Epochs: 1, ValWords: 1, MeanGapNs: 1},
+		"bad-mix": {Shards: 1, Keys: 1, Requests: 1, Epochs: 1, ValWords: 1,
+			MeanGapNs: 1, PutFrac: 0.8, IncrFrac: 0.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: New did not panic", name)
+				}
+			}()
+			New(p)
+		}()
+	}
+}

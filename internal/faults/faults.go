@@ -15,37 +15,27 @@
 package faults
 
 import (
+	"genima/internal/rng"
 	"genima/internal/sim"
 	"genima/internal/stats"
 	"genima/internal/topo"
 )
 
-// rng is a splitmix64 stream: tiny, fast, and deterministic, with an
-// independent stream per link so adding traffic on one link never
-// perturbs the fault pattern of another.
-type rng uint64
+// outLinkSalt decorrelates a host's out-link stream from its in-link
+// stream (both derive from the same seed and node id). The value is
+// frozen: it participates in every fault verdict stream pinned by the
+// golden trace hashes.
+const outLinkSalt = 0xd1b54a32d192ed03
 
-func (r *rng) next() uint64 {
-	*r += 0x9e3779b97f4a7c15
-	z := uint64(*r)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// float returns a uniform draw in [0, 1).
-func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
-
-// seedFor derives the initial stream state for one directional link.
-func seedFor(seed uint64, out bool, node int) rng {
-	z := seed ^ (uint64(node)+1)*0x9e3779b97f4a7c15
+// seedFor derives the fault stream for one directional link — an
+// independent splitmix64 stream per link, so adding traffic on one
+// link never perturbs the fault pattern of another.
+func seedFor(seed uint64, out bool, node int) rng.Stream {
+	var salt uint64
 	if out {
-		z ^= 0xd1b54a32d192ed03
+		salt = outLinkSalt
 	}
-	// One scramble round so adjacent node ids start far apart.
-	r := rng(z)
-	r.next()
-	return r
+	return rng.Derive(seed, uint64(node), salt)
 }
 
 // Verdict is the plan's decision for one link crossing.
@@ -69,7 +59,7 @@ type Verdict struct {
 // no synchronization here; Plan.Report aggregates the shards after the
 // run.
 type linkState struct {
-	r    rng
+	r    rng.Stream
 	down []topo.DownWindow
 	rep  stats.FaultReport
 }
@@ -135,12 +125,12 @@ func (p *Plan) JudgeOut(node int, now sim.Time) Verdict {
 	var v Verdict
 	// Fixed draw order keeps each link's stream stable across fault
 	// classes: drop, then corrupt.
-	if ls.r.float() < p.cfg.DropRate {
+	if ls.r.Float() < p.cfg.DropRate {
 		v.Drop = true
 		ls.rep.DropsInjected++
 	}
-	if ls.r.float() < p.cfg.CorruptRate {
-		v.CorruptMask = ls.r.next() | 1
+	if ls.r.Float() < p.cfg.CorruptRate {
+		v.CorruptMask = ls.r.Next() | 1
 		if !v.Drop {
 			ls.rep.CorruptsInjected++
 		}
@@ -158,22 +148,22 @@ func (p *Plan) JudgeIn(node int, now sim.Time) Verdict {
 	}
 	var v Verdict
 	// Fixed draw order: drop, corrupt, dup, delay.
-	if ls.r.float() < p.cfg.DropRate {
+	if ls.r.Float() < p.cfg.DropRate {
 		v.Drop = true
 		ls.rep.DropsInjected++
 	}
-	if ls.r.float() < p.cfg.CorruptRate {
-		v.CorruptMask = ls.r.next() | 1
+	if ls.r.Float() < p.cfg.CorruptRate {
+		v.CorruptMask = ls.r.Next() | 1
 		if !v.Drop {
 			ls.rep.CorruptsInjected++
 		}
 	}
-	if ls.r.float() < p.cfg.DupRate {
+	if ls.r.Float() < p.cfg.DupRate {
 		v.Dup = true
 		ls.rep.DupsInjected++
 	}
-	if ls.r.float() < p.cfg.DelayRate {
-		d := 1 + sim.Time(ls.r.float()*float64(p.cfg.DelayMax))
+	if ls.r.Float() < p.cfg.DelayRate {
+		d := 1 + sim.Time(ls.r.Float()*float64(p.cfg.DelayMax))
 		if d > p.cfg.DelayMax {
 			d = p.cfg.DelayMax
 		}
@@ -195,7 +185,7 @@ func (p *Plan) DigestInto(d *sim.Digest) {
 		d.U64(uint64(len(links)))
 		for i := range links {
 			ls := &links[i]
-			d.U64(uint64(ls.r))
+			d.U64(ls.r.State())
 			ls.rep.DigestInto(d)
 		}
 	}

@@ -1,0 +1,66 @@
+// Package rng provides the repo's one deterministic random stream: a
+// splitmix64 generator. Every stochastic subsystem (fault injection,
+// the svmkv request generator) derives independent Streams from its
+// configured seed — no wall clock, no global rand — so a run with the
+// same configuration replays byte-identically on any box.
+//
+// The stream algorithm is frozen: internal/faults' verdict sequences
+// are pinned by golden trace hashes, so any change to Next's constants
+// or draw arithmetic is a protocol-visible regression.
+package rng
+
+// Stream is a splitmix64 stream: tiny, fast, and deterministic. The
+// zero value is a valid stream (seed 0); derive decorrelated streams
+// from one seed with Derive.
+type Stream uint64
+
+// New returns a stream starting at state seed.
+func New(seed uint64) Stream { return Stream(seed) }
+
+// Next advances the stream and returns the next 64 uniform bits.
+func (r *Stream) Next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float returns a uniform draw in [0, 1) with 53 bits of precision.
+func (r *Stream) Float() float64 { return float64(r.Next()>>11) / (1 << 53) }
+
+// Intn returns a uniform draw in [0, n); n must be positive. The tiny
+// modulo bias (< n/2^64) is irrelevant at the stream's use sites and
+// keeps the draw a single Next call, which the frozen-stream contract
+// requires.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// State returns the raw stream state (for digests and checkpoints).
+func (r Stream) State() uint64 { return uint64(r) }
+
+// Derive returns a stream decorrelated from seed by an index: the
+// golden-ratio stride separates adjacent ids, one scramble round moves
+// the starting states far apart. Index 0 with salt 0 is NOT the same
+// as New(seed): Derive is for families of independent streams, New for
+// resuming a known raw state.
+func Derive(seed, index, salt uint64) Stream {
+	z := seed ^ (index+1)*0x9e3779b97f4a7c15 ^ salt
+	r := Stream(z)
+	r.Next()
+	return r
+}
+
+// Mix64 is a one-shot splitmix64 finalizer: a stateless hash of x,
+// used to decorrelate values (key → shard placement, request → stored
+// value) without consuming any stream state.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,168 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestFrozenSequence pins the first draws of a known seed. These values
+// are load-bearing: internal/faults derives its verdict streams from
+// this generator, and the repo's golden trace hashes pin those verdicts.
+// If this test moves, the stream algorithm changed and every golden
+// hash in trace_golden_test.go is invalid.
+func TestFrozenSequence(t *testing.T) {
+	r := New(42)
+	want := []uint64{
+		0xbdd732262feb6e95, 0x28efe333b266f103, 0x47526757130f9f52,
+	}
+	for i, w := range want {
+		if got := r.Next(); got != w {
+			// Recompute `want` only if the algorithm is deliberately
+			// changed — which also invalidates the golden trace hashes.
+			t.Fatalf("Next()[%d] = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < 64; i++ {
+			if a.Next() != b.Next() {
+				return false
+			}
+		}
+		return a.State() == b.State()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 64; i++ {
+			if v := r.Float(); v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			if v := r.Intn(n); v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+// TestDeriveIndependence: streams derived from the same seed with
+// different indices (or salts) must not track each other. Exact
+// collisions over a 32-draw prefix would mean the derivation failed to
+// decorrelate.
+func TestDeriveIndependence(t *testing.T) {
+	f := func(seed uint64, i, j uint16) bool {
+		if i == j {
+			return true
+		}
+		a := Derive(seed, uint64(i), 0)
+		b := Derive(seed, uint64(j), 0)
+		for k := 0; k < 32; k++ {
+			if a.Next() != b.Next() {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Salt decorrelates two streams with the same index.
+	a := Derive(1, 0, 0)
+	b := Derive(1, 0, 0xd1b54a32d192ed03)
+	same := true
+	for k := 0; k < 32; k++ {
+		if a.Next() != b.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("salted stream tracks unsalted stream")
+	}
+}
+
+// TestDeriveDeterminism: Derive is a pure function of (seed, index,
+// salt).
+func TestDeriveDeterminism(t *testing.T) {
+	f := func(seed, index, salt uint64) bool {
+		a, b := Derive(seed, index, salt), Derive(seed, index, salt)
+		for k := 0; k < 16; k++ {
+			if a.Next() != b.Next() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeedIndependence: different seeds give different streams.
+func TestSeedIndependence(t *testing.T) {
+	f := func(s1, s2 uint64) bool {
+		if s1 == s2 {
+			return true
+		}
+		a, b := New(s1), New(s2)
+		for k := 0; k < 32; k++ {
+			if a.Next() != b.Next() {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformityRough(t *testing.T) {
+	// 20k draws into 16 buckets: each should hold ~1250; a frozen,
+	// correct splitmix64 lands well inside ±25%.
+	r := New(12345)
+	var buckets [16]int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		buckets[r.Next()>>60]++
+	}
+	for i, c := range buckets {
+		if c < n/16*3/4 || c > n/16*5/4 {
+			t.Fatalf("bucket %d has %d draws (expected ~%d)", i, c, n/16)
+		}
+	}
+}
+
+func TestMix64(t *testing.T) {
+	// Mix64(x) must equal the first Next() of a stream whose pre-advance
+	// state is x (splitmix64's finalizer applied to x + golden gamma).
+	f := func(x uint64) bool {
+		r := New(x)
+		return Mix64(x) == r.Next()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if Mix64(1) == Mix64(2) {
+		t.Fatal("Mix64 collides on 1,2")
+	}
+}

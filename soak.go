@@ -155,7 +155,7 @@ func Soak(cfg Config, opts SoakOptions) (*SoakResult, error) {
 	result := func(interrupted bool) *SoakResult {
 		return &SoakResult{Iters: iter, Events: cum, Chain: hex.EncodeToString(chain[:]), Interrupted: interrupted}
 	}
-	names := apps.Names(scale)
+	names := soakApps(scale)
 	ladder := Protocols()
 	var doneHere uint64
 	for {
@@ -178,11 +178,7 @@ func Soak(cfg Config, opts SoakOptions) (*SoakResult, error) {
 			return result(true), nil
 		}
 
-		// The iteration recipe: rotate apps slowly and the protocol
-		// ladder quickly, so every (app, protocol) pair recurs, each
-		// time under a fresh fault seed.
-		name := names[(iter/uint64(len(ladder)))%uint64(len(names))]
-		proto := ladder[iter%uint64(len(ladder))]
+		name, proto := soakPick(iter, names, ladder)
 		entry, ok := apps.ByName(scale, name)
 		if !ok {
 			return nil, fmt.Errorf("soak: app %q vanished from the suite", name)
@@ -241,4 +237,18 @@ func Soak(cfg Config, opts SoakOptions) (*SoakResult, error) {
 		return nil, err
 	}
 	return result(false), nil
+}
+
+// soakApps is the soak rotation's app list: the SPLASH suite plus the
+// svmkv serving workload (registered by name only, so the suite
+// goldens stay put).
+func soakApps(scale apps.Scale) []string {
+	return append(apps.Names(scale), "svmkv")
+}
+
+// soakPick returns iteration iter's (app, protocol): apps rotate
+// slowly and the ladder quickly, so every pair recurs, each time under
+// a fresh fault seed.
+func soakPick(iter uint64, names []string, ladder []Protocol) (string, Protocol) {
+	return names[(iter/uint64(len(ladder)))%uint64(len(names))], ladder[iter%uint64(len(ladder))]
 }

@@ -1,0 +1,42 @@
+package genima
+
+import (
+	"testing"
+
+	"genima/internal/apps"
+)
+
+// TestSoakRotationCoversSvmkv: one full rotation period pairs every
+// app — the SPLASH suite plus svmkv — with every protocol rung, and
+// every rotated name resolves in the registry.
+func TestSoakRotationCoversSvmkv(t *testing.T) {
+	names := soakApps(apps.Test)
+	ladder := Protocols()
+	found := false
+	for _, n := range names {
+		if n == "svmkv" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("svmkv missing from the soak rotation")
+	}
+	seen := make(map[string]bool)
+	period := uint64(len(names) * len(ladder))
+	for iter := uint64(0); iter < period; iter++ {
+		name, proto := soakPick(iter, names, ladder)
+		if _, ok := apps.ByName(apps.Test, name); !ok {
+			t.Fatalf("rotation picked unregistered app %q", name)
+		}
+		seen[name+"/"+proto.String()] = true
+	}
+	if len(seen) != int(period) {
+		t.Fatalf("rotation period covered %d distinct (app, protocol) pairs, want %d",
+			len(seen), period)
+	}
+	for _, p := range ladder {
+		if !seen["svmkv/"+p.String()] {
+			t.Fatalf("rotation never pairs svmkv with %s", p)
+		}
+	}
+}
